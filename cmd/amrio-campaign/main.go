@@ -1,0 +1,72 @@
+// Command amrio-campaign executes the paper's Table III parameter study
+// and persists each run's output ledger to JSON for the model and report
+// tools.
+//
+// Usage:
+//
+//	amrio-campaign [-quick] [-filter case4] [-outdir results/]
+//
+// -quick (default) runs the campaign scaled for minutes-scale execution;
+// -quick=false runs paper-scale cases (hours; Summit-scale cases still use
+// the metadata-only surrogate and remain fast).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"amrproxyio/internal/campaign"
+	"amrproxyio/internal/iosim"
+	"amrproxyio/internal/report"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "amrio-campaign:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	quick := flag.Bool("quick", true, "run the scaled-down campaign")
+	filter := flag.String("filter", "", "only run cases whose name contains this substring")
+	outdir := flag.String("outdir", "", "save per-case result JSONs here")
+	flag.Parse()
+
+	cases := campaign.PaperCampaign()
+	if *quick {
+		cases = campaign.QuickCampaign()
+	}
+	if *outdir != "" {
+		if err := os.MkdirAll(*outdir, 0o755); err != nil {
+			return err
+		}
+	}
+
+	var results []campaign.Result
+	for _, c := range cases {
+		if *filter != "" && !strings.Contains(c.Name, *filter) {
+			continue
+		}
+		fsCfg := iosim.DefaultConfig()
+		fs := iosim.New(fsCfg, "")
+		res, err := campaign.Run(c, fs)
+		if err != nil {
+			return fmt.Errorf("%s: %w", c.Name, err)
+		}
+		fmt.Printf("%-18s %-9s %9s in %8v (%d plots)\n",
+			c.Name, res.Engine, report.HumanBytes(res.TotalBytes()), res.Wall.Round(1e6), res.NPlots)
+		if *outdir != "" {
+			if err := res.Save(filepath.Join(*outdir, c.Name+".json")); err != nil {
+				return err
+			}
+		}
+		results = append(results, res)
+	}
+	fmt.Println()
+	fmt.Println(report.TableIII(results))
+	return nil
+}

@@ -1,0 +1,76 @@
+// Command amrio-model applies the paper's analytical model: it calibrates
+// the Eq. 3 part_size factor and the dataset_growth kernel against a
+// measured run (a result JSON from amrio-campaign, or a fresh quick run of
+// the pivot case) and emits the translated MACSio command line (Listing 1)
+// plus the Fig. 9 calibration convergence.
+//
+// Usage:
+//
+//	amrio-model [-result results/case4.json] [-csv]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"amrproxyio/internal/campaign"
+	"amrproxyio/internal/core"
+	"amrproxyio/internal/iosim"
+	"amrproxyio/internal/report"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "amrio-model:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	resultPath := flag.String("result", "", "measured run JSON (default: run a quick case4 now)")
+	csv := flag.Bool("csv", false, "emit the Fig. 9 series as CSV")
+	flag.Parse()
+
+	var res campaign.Result
+	if *resultPath != "" {
+		var err error
+		res, err = campaign.LoadResult(*resultPath)
+		if err != nil {
+			return err
+		}
+	} else {
+		fmt.Println("no -result given; running a scaled case4 pivot now...")
+		fs := iosim.New(iosim.DefaultConfig(), "")
+		var err error
+		res, err = campaign.Run(campaign.Case4().Scaled(8), fs)
+		if err != nil {
+			return err
+		}
+	}
+
+	cfg := res.Case.Inputs()
+	tr, err := core.Translate(cfg, res.Records, core.DefaultTranslateOptions())
+	if err != nil {
+		return err
+	}
+
+	fmt.Printf("measured run: %s (%s engine, %d plot events, %s total)\n",
+		res.Case.Name, res.Engine, res.NPlots, report.HumanBytes(res.TotalBytes()))
+	fmt.Printf("Eq. 3 fit: f = %.3f -> part_size = %d bytes\n", tr.F, tr.MACSio.PartSize)
+	fmt.Printf("calibrated dataset_growth = %.6f (MAPE %.2f%%, Pearson %.4f)\n",
+		tr.Kernel.Growth, tr.MAPE, tr.Pearson)
+	fmt.Printf("growth guess from cfl/levels table: %.4f\n",
+		core.GrowthGuess(cfg.CFL, cfg.MaxLevel))
+	fmt.Println()
+	fmt.Println(report.Listing1(tr, cfg.NProcs))
+
+	_, perStep := core.PerStepBytes(res.Records)
+	fig9 := report.Fig9(perStep, tr.Trace, tr.Kernel.Base)
+	if *csv {
+		fmt.Println(fig9.CSV())
+	} else {
+		fmt.Println(fig9.Render())
+	}
+	return nil
+}

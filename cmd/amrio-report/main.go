@@ -1,0 +1,203 @@
+// Command amrio-report regenerates every table and figure in the paper's
+// evaluation section. With -results it reads saved campaign JSONs; without
+// it, it executes the scaled pivot cases on the spot (about a minute) and
+// renders everything end to end.
+//
+// Usage:
+//
+//	amrio-report [-results results/] [-csv] [-exhibit fig10]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"amrproxyio/internal/campaign"
+	"amrproxyio/internal/core"
+	"amrproxyio/internal/iosim"
+	"amrproxyio/internal/macsio"
+	"amrproxyio/internal/report"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "amrio-report:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	resultsDir := flag.String("results", "", "directory of saved campaign result JSONs")
+	csv := flag.Bool("csv", false, "emit figure data as CSV instead of ASCII plots")
+	exhibit := flag.String("exhibit", "", "render only the named exhibit (table1..3, fig2..11, listing1)")
+	div := flag.Int("scale", 8, "scale divisor for on-the-fly runs")
+	flag.Parse()
+
+	want := func(name string) bool {
+		return *exhibit == "" || strings.EqualFold(*exhibit, name)
+	}
+	emit := func(p *report.Plot) {
+		if *csv {
+			fmt.Println(p.CSV())
+		} else {
+			fmt.Println(p.Render())
+		}
+	}
+
+	// Load or generate the result set.
+	var results []campaign.Result
+	if *resultsDir != "" {
+		paths, err := filepath.Glob(filepath.Join(*resultsDir, "*.json"))
+		if err != nil {
+			return err
+		}
+		for _, p := range paths {
+			r, err := campaign.LoadResult(p)
+			if err != nil {
+				return fmt.Errorf("%s: %w", p, err)
+			}
+			results = append(results, r)
+		}
+		if len(results) == 0 {
+			return fmt.Errorf("no result JSONs in %s", *resultsDir)
+		}
+	}
+
+	runCase := func(c campaign.Case) (campaign.Result, error) {
+		for _, r := range results {
+			if r.Case.Name == c.Name {
+				return r, nil
+			}
+		}
+		fs := iosim.New(iosim.DefaultConfig(), "")
+		return campaign.Run(c, fs)
+	}
+
+	if want("table1") {
+		fmt.Println(report.TableI())
+	}
+	if want("table2") {
+		fmt.Println(report.TableII())
+	}
+
+	// Fig. 2 / Fig. 3: structural exhibits from fresh small runs.
+	if want("fig2") {
+		fs := iosim.New(iosim.DefaultConfig(), "")
+		c := campaign.Case{Name: "fig2", NCell: 32, MaxLevel: 2, MaxStep: 4, PlotInt: 4,
+			CFL: 0.5, NProcs: 4, Engine: campaign.EngineHydro}
+		if _, err := campaign.Run(c, fs); err != nil {
+			return err
+		}
+		fmt.Println(report.Fig2(fs.Ledger()))
+	}
+	if want("fig3") {
+		fs := iosim.New(iosim.DefaultConfig(), "")
+		mcfg := macsio.DefaultConfig()
+		mcfg.NProcs = 4
+		mcfg.NumDumps = 3
+		if _, err := macsio.Run(fs, mcfg); err != nil {
+			return err
+		}
+		fmt.Println(report.Fig3(fs.Ledger()))
+	}
+
+	// Pivot runs used by several figures.
+	var pivotResults []campaign.Result
+	var pivotTranslations []core.Translation
+	needPivot := want("fig6") || want("fig7") || want("fig9") || want("fig10") || want("listing1")
+	if needPivot {
+		for _, v := range []struct {
+			cfl float64
+			ml  int
+		}{{0.3, 2}, {0.3, 4}, {0.6, 2}, {0.6, 4}} {
+			c := campaign.Case4Variant(v.cfl, v.ml).Scaled(*div)
+			res, err := runCase(c)
+			if err != nil {
+				return err
+			}
+			tr, err := core.Translate(res.Case.Inputs(), res.Records, core.DefaultTranslateOptions())
+			if err != nil {
+				return err
+			}
+			pivotResults = append(pivotResults, res)
+			pivotTranslations = append(pivotTranslations, tr)
+		}
+	}
+
+	if want("table3") {
+		set := results
+		if len(set) == 0 {
+			set = pivotResults
+		}
+		fmt.Println(report.TableIII(set))
+	}
+	if want("fig5") {
+		set := results
+		if len(set) == 0 {
+			// A small sweep across sizes and level counts.
+			for _, c := range []campaign.Case{
+				{Name: "s32", NCell: 32, MaxLevel: 2, MaxStep: 60, PlotInt: 4, CFL: 0.5, NProcs: 2, Engine: campaign.EngineAuto},
+				{Name: "s64", NCell: 64, MaxLevel: 2, MaxStep: 60, PlotInt: 4, CFL: 0.5, NProcs: 4, Engine: campaign.EngineAuto},
+				{Name: "s64l3", NCell: 64, MaxLevel: 3, MaxStep: 60, PlotInt: 4, CFL: 0.5, NProcs: 4, Engine: campaign.EngineAuto},
+				{Name: "s1024", NCell: 1024, MaxLevel: 2, MaxStep: 60, PlotInt: 4, CFL: 0.5, NProcs: 16, Engine: campaign.EngineAuto},
+			} {
+				res, err := runCase(c)
+				if err != nil {
+					return err
+				}
+				set = append(set, res)
+			}
+		}
+		emit(report.Fig5(set))
+	}
+	if want("fig6") {
+		emit(report.Fig6(pivotResults))
+	}
+	if want("fig7") {
+		emit(report.Fig7(pivotResults[3])) // cfl 0.6, maxl 4: richest hierarchy
+	}
+	if want("fig8") {
+		res, err := runCase(campaign.Case27().Scaled(*div / 2))
+		if err != nil {
+			return err
+		}
+		for level := 0; level <= 1; level++ {
+			p, imbalance := report.Fig8(res, level)
+			emit(p)
+			fmt.Printf("level %d per-task imbalance (max/mean): %.2f\n\n", level, imbalance)
+		}
+	}
+	if want("fig9") {
+		tr := pivotTranslations[1] // cfl 0.3 maxl 4 — any pivot works
+		_, perStep := core.PerStepBytes(pivotResults[1].Records)
+		emit(report.Fig9(perStep, tr.Trace, tr.Kernel.Base))
+	}
+	if want("fig10") {
+		p, mapes := report.Fig10(pivotResults, pivotTranslations)
+		emit(p)
+		for i, m := range mapes {
+			fmt.Printf("%s model MAPE: %.2f%%\n", pivotResults[i].Case.Name, m)
+		}
+		fmt.Println()
+	}
+	if want("fig11") {
+		res, err := runCase(campaign.LargeCase())
+		if err != nil {
+			return err
+		}
+		tr, err := core.Translate(res.Case.Inputs(), res.Records, core.DefaultTranslateOptions())
+		if err != nil {
+			return err
+		}
+		p, mape := report.Fig11(res, tr.Kernel)
+		emit(p)
+		fmt.Printf("large-case kernel MAPE: %.2f%%\n\n", mape)
+	}
+	if want("listing1") {
+		fmt.Println(report.Listing1(pivotTranslations[3], pivotResults[3].Case.NProcs))
+	}
+	return nil
+}

@@ -1,0 +1,85 @@
+// Command macsio is the proxy I/O application with the paper's Table II
+// command line. It reproduces the Fig. 3 N-to-N output pattern through the
+// filesystem model (or onto real disk with -outdir).
+//
+// Example (the paper's Listing 1 shape):
+//
+//	macsio --interface miftmpl --parallel_file_mode MIF 32 \
+//	       --num_dumps 21 --part_size 1550000 --avg_num_parts 1 \
+//	       --vars_per_part 1 --dataset_growth 1.013075 --nprocs 32
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"amrproxyio/internal/iosim"
+	"amrproxyio/internal/macsio"
+	"amrproxyio/internal/report"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "macsio:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	// Split our own flags (before "--") from MACSio flags.
+	var outdir string
+	var verbose bool
+	fl := flag.NewFlagSet("macsio", flag.ContinueOnError)
+	fl.StringVar(&outdir, "outdir", "", "write real files under this directory")
+	fl.BoolVar(&verbose, "v", false, "print the output layout and burst report")
+
+	args := os.Args[1:]
+	var macsioArgs []string
+	for i := 0; i < len(args); i++ {
+		switch args[i] {
+		case "-outdir", "--outdir":
+			if i+1 < len(args) {
+				outdir = args[i+1]
+				i++
+			}
+		case "-v":
+			verbose = true
+		default:
+			macsioArgs = append(macsioArgs, args[i])
+		}
+	}
+	_ = fl
+
+	cfg, err := macsio.ParseArgs(macsioArgs)
+	if err != nil {
+		return err
+	}
+
+	fsCfg := iosim.DefaultConfig()
+	if outdir != "" {
+		fsCfg.Backend = iosim.RealDisk
+	}
+	fs := iosim.New(fsCfg, outdir)
+
+	fmt.Printf("macsio: %s\n", cfg.CommandLine())
+	recs, err := macsio.Run(fs, cfg)
+	if err != nil {
+		return err
+	}
+	per := macsio.BytesPerStep(recs)
+	fmt.Println("bytes per dump step:")
+	for _, step := range report.SortedIntKeys(per) {
+		fmt.Printf("  dump %3d  %s\n", step, report.HumanBytes(per[step]))
+	}
+	fmt.Printf("total: %s across %d dump records\n",
+		report.HumanBytes(macsio.TotalBytes(recs)), len(recs))
+
+	if verbose {
+		fmt.Println()
+		fmt.Println(report.Fig3(fs.Ledger()))
+		fmt.Println(report.BurstReport(fs.Ledger()))
+		fmt.Println(iosim.Characterize(fs.Ledger()).Render())
+	}
+	return nil
+}

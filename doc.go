@@ -1,0 +1,35 @@
+// Package amrproxyio reproduces "Modeling pre-Exascale AMR Parallel I/O
+// Workloads via Proxy Applications" (Godoy, Delozier, Watson — IPDPSW
+// 2022, arXiv:2206.00108) as a self-contained Go library.
+//
+// The repository builds every substrate the paper depends on — a
+// block-structured AMR hydrodynamics code standing in for AMReX/Castro, a
+// simulated MPI runtime, a parallel-filesystem model standing in for
+// Summit's GPFS, the AMReX plotfile format, and a port of the MACSio proxy
+// I/O application — plus the paper's contribution: the analytical model
+// translating Castro inputs into MACSio parameters (Eq. 3 and the
+// calibrated dataset_growth kernel).
+//
+// Layout:
+//
+//	internal/grid      index-space geometry (boxes, Morton codes)
+//	internal/mpisim    simulated MPI (SPMD ranks, collectives)
+//	internal/iosim     parallel filesystem model + write ledger
+//	internal/inputs    AMReX inputs-file parser, Castro configuration
+//	internal/stats     OLS, golden-section minimization, error metrics
+//	internal/amr       BoxArray, DistributionMapping, MultiFab, tagging,
+//	                   Berger-Rigoutsos clustering, fill-patch
+//	internal/hydro     2D Euler solver (MUSCL-Hancock + HLLC)
+//	internal/sedov     analytic Sedov-Taylor blast relations
+//	internal/sim       the Castro-like AMR driver
+//	internal/surrogate Summit-scale workload generator (analytic front)
+//	internal/plotfile  AMReX plotfile N-to-N writer/reader
+//	internal/macsio    MACSio proxy port (miftmpl JSON, MIF/SIF)
+//	internal/core      the paper's model: Eq. 1-3, Listing 1, calibration
+//	internal/campaign  the Table III 47-run study
+//	internal/report    table/figure renderers
+//
+// The benchmarks in bench_test.go regenerate every table and figure of
+// the paper's evaluation section; EXPERIMENTS.md records paper-vs-measured
+// for each. Start with examples/quickstart.
+package amrproxyio

@@ -1,0 +1,77 @@
+// Autotune demonstrates the paper's stated follow-up (§V): using the
+// calibrated proxy machinery predictively. It trains a size model on a
+// handful of small measured runs, then — without running any further AMR
+// simulation — predicts the output workload of larger, unseen
+// configurations and emits ready-to-run MACSio invocations for them. This
+// is the "autotune data management strategies in anticipation of exascale
+// systems" loop the paper's abstract motivates.
+//
+//	go run ./examples/autotune
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"amrproxyio/internal/campaign"
+	"amrproxyio/internal/core"
+	"amrproxyio/internal/iosim"
+	"amrproxyio/internal/macsio"
+	"amrproxyio/internal/report"
+)
+
+func main() {
+	// 1. Measure a small training campaign (seconds of laptop time).
+	train := []campaign.Case{
+		{Name: "t32l2", NCell: 32, MaxLevel: 2, MaxStep: 200, PlotInt: 20, CFL: 0.3, NProcs: 2, Engine: campaign.EngineHydro},
+		{Name: "t32l3", NCell: 32, MaxLevel: 3, MaxStep: 200, PlotInt: 20, CFL: 0.5, NProcs: 2, Engine: campaign.EngineHydro},
+		{Name: "t64l2", NCell: 64, MaxLevel: 2, MaxStep: 200, PlotInt: 20, CFL: 0.3, NProcs: 4, Engine: campaign.EngineHydro},
+		{Name: "t64l3", NCell: 64, MaxLevel: 3, MaxStep: 200, PlotInt: 20, CFL: 0.6, NProcs: 4, Engine: campaign.EngineHydro},
+		{Name: "t64f", NCell: 64, MaxLevel: 2, MaxStep: 200, PlotInt: 10, CFL: 0.5, NProcs: 4, Engine: campaign.EngineHydro},
+		{Name: "t96l2", NCell: 96, MaxLevel: 2, MaxStep: 200, PlotInt: 20, CFL: 0.4, NProcs: 4, Engine: campaign.EngineHydro},
+		{Name: "t96l3", NCell: 96, MaxLevel: 3, MaxStep: 200, PlotInt: 10, CFL: 0.5, NProcs: 4, Engine: campaign.EngineHydro},
+	}
+	var obs []core.RunObservation
+	fmt.Println("training runs:")
+	for _, c := range train {
+		res, err := campaign.Run(c, iosim.New(iosim.DefaultConfig(), ""))
+		if err != nil {
+			log.Fatal(err)
+		}
+		o := res.Observation()
+		obs = append(obs, o)
+		fmt.Printf("  %-6s %4dx%-4d maxlev %d cfl %.1f -> %s over %d plots\n",
+			c.Name, c.NCell, c.NCell, c.MaxLevel, c.CFL,
+			report.HumanBytes(o.TotalBytes), o.PlotEvents)
+	}
+
+	// 2. Fit the log-linear size model.
+	p, err := core.FitSizePredictor(obs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nfitted size model: R^2 = %.4f, in-sample MAPE = %.1f%%\n",
+		p.Fit.R2, p.InSampleMAPE)
+
+	// 3. Predict unseen configurations — including Summit-class ones the
+	//    training never touched — and emit proxy invocations.
+	targets := []core.RunObservation{
+		{NCellX: 512, NCellY: 512, MaxLevel: 4, CFL: 0.4, NProcs: 32, PlotEvents: 21},     // the paper's case4
+		{NCellX: 8192, NCellY: 8192, MaxLevel: 2, CFL: 0.5, NProcs: 1024, PlotEvents: 51}, // the paper's Fig. 11 case
+	}
+	fmt.Println("\npredicted workloads for unseen configurations:")
+	for _, o := range targets {
+		kernel := p.PredictMACSio(o)
+		mcfg := macsio.DefaultConfig()
+		mcfg.FileMode = macsio.ModeMIF
+		mcfg.MIFFiles = o.NProcs
+		mcfg.NumDumps = o.PlotEvents
+		mcfg.PartSize = int64(kernel.Base / float64(o.NProcs))
+		mcfg.DatasetGrowth = kernel.Growth
+		mcfg.NProcs = o.NProcs
+		fmt.Printf("\n  %dx%d, maxlev %d, cfl %.1f, %d ranks:\n", o.NCellX, o.NCellY, o.MaxLevel, o.CFL, o.NProcs)
+		fmt.Printf("    predicted total: %s across %d dumps (growth %.4f)\n",
+			report.HumanBytes(int64(p.PredictBytes(o))), o.PlotEvents, kernel.Growth)
+		fmt.Printf("    proxy: jsrun -n %d %s\n", o.NProcs, mcfg.CommandLine())
+	}
+}

@@ -1,0 +1,281 @@
+// Package amr implements the block-structured adaptive mesh refinement
+// machinery the paper's AMReX/Castro substrate provides: box arrays,
+// distribution mappings (domain decomposition over MPI tasks), error
+// tagging, Berger–Rigoutsos grid generation, distributed field containers
+// (MultiFab), ghost-cell exchange and coarse-fine interpolation.
+//
+// The package is deliberately close to AMReX's vocabulary — BoxArray,
+// DistributionMapping, MultiFab, FillPatch — because the paper's measured
+// quantity (bytes per timestep, per level, per task — its Eq. 2) is a
+// direct function of these objects' evolution.
+package amr
+
+import (
+	"fmt"
+	"sort"
+
+	"amrproxyio/internal/grid"
+)
+
+// BoxArray is the set of boxes that tile a level's valid region.
+type BoxArray struct {
+	Boxes []grid.Box
+}
+
+// NewBoxArray wraps a box list.
+func NewBoxArray(boxes []grid.Box) BoxArray {
+	return BoxArray{Boxes: boxes}
+}
+
+// SingleBoxArray covers dom with one box, then splits it to respect
+// maxGridSize with blockingFactor alignment — exactly how AMReX builds the
+// level-0 grid set from amr.n_cell and amr.max_grid_size.
+func SingleBoxArray(dom grid.Box, maxGridSize, blockingFactor int) BoxArray {
+	return BoxArray{Boxes: dom.SplitMax(maxGridSize, blockingFactor)}
+}
+
+// Len returns the number of boxes.
+func (ba BoxArray) Len() int { return len(ba.Boxes) }
+
+// NumPts is the total cell count over all boxes.
+func (ba BoxArray) NumPts() int64 {
+	var n int64
+	for _, b := range ba.Boxes {
+		n += b.NumPts()
+	}
+	return n
+}
+
+// MinimalBox is the bounding box of the array.
+func (ba BoxArray) MinimalBox() grid.Box {
+	if len(ba.Boxes) == 0 {
+		return grid.Empty()
+	}
+	out := ba.Boxes[0]
+	for _, b := range ba.Boxes[1:] {
+		out.Lo = out.Lo.Min(b.Lo)
+		out.Hi = out.Hi.Max(b.Hi)
+	}
+	return out
+}
+
+// Contains reports whether cell p is covered by any box.
+func (ba BoxArray) Contains(p grid.IntVect) bool {
+	for _, b := range ba.Boxes {
+		if b.Contains(p) {
+			return true
+		}
+	}
+	return false
+}
+
+// ContainsBox reports whether box o is entirely covered by the union of
+// the array's boxes.
+func (ba BoxArray) ContainsBox(o grid.Box) bool {
+	remaining := []grid.Box{o}
+	for _, b := range ba.Boxes {
+		var next []grid.Box
+		for _, r := range remaining {
+			next = append(next, r.Difference(b)...)
+		}
+		remaining = next
+		if len(remaining) == 0 {
+			return true
+		}
+	}
+	return len(remaining) == 0
+}
+
+// Intersections returns the indices and overlap boxes of all array boxes
+// intersecting b.
+func (ba BoxArray) Intersections(b grid.Box) []Intersection {
+	var out []Intersection
+	for i, ab := range ba.Boxes {
+		if isect := ab.Intersect(b); !isect.IsEmpty() {
+			out = append(out, Intersection{Index: i, Box: isect})
+		}
+	}
+	return out
+}
+
+// Intersection pairs a box index with the overlap region.
+type Intersection struct {
+	Index int
+	Box   grid.Box
+}
+
+// Refine maps every box to the finer index space.
+func (ba BoxArray) Refine(ratio int) BoxArray {
+	out := make([]grid.Box, len(ba.Boxes))
+	for i, b := range ba.Boxes {
+		out[i] = b.Refine(ratio)
+	}
+	return BoxArray{Boxes: out}
+}
+
+// Coarsen maps every box to the coarser index space.
+func (ba BoxArray) Coarsen(ratio int) BoxArray {
+	out := make([]grid.Box, len(ba.Boxes))
+	for i, b := range ba.Boxes {
+		out[i] = b.Coarsen(ratio)
+	}
+	return BoxArray{Boxes: out}
+}
+
+// Complement returns the parts of region not covered by the array.
+func (ba BoxArray) Complement(region grid.Box) []grid.Box {
+	remaining := []grid.Box{region}
+	for _, b := range ba.Boxes {
+		var next []grid.Box
+		for _, r := range remaining {
+			next = append(next, r.Difference(b)...)
+		}
+		remaining = next
+		if len(remaining) == 0 {
+			break
+		}
+	}
+	return remaining
+}
+
+// IsDisjoint verifies no two boxes overlap (an AMReX BoxArray invariant
+// for valid regions).
+func (ba BoxArray) IsDisjoint() bool {
+	for i := range ba.Boxes {
+		for j := i + 1; j < len(ba.Boxes); j++ {
+			if ba.Boxes[i].Intersects(ba.Boxes[j]) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func (ba BoxArray) String() string {
+	return fmt.Sprintf("BoxArray{%d boxes, %d cells}", ba.Len(), ba.NumPts())
+}
+
+// DistributionMapping assigns each box of a BoxArray to an owning rank.
+type DistributionMapping struct {
+	Owner []int
+}
+
+// DistStrategy selects the decomposition algorithm.
+type DistStrategy int
+
+const (
+	// DistRoundRobin assigns box i to rank i % nprocs (AMReX's simplest).
+	DistRoundRobin DistStrategy = iota
+	// DistKnapsack balances total cells per rank greedily (largest box to
+	// least-loaded rank), AMReX's default-ish heuristic.
+	DistKnapsack
+	// DistSFC orders boxes along a Morton space-filling curve and chops
+	// the curve into nprocs contiguous chunks of roughly equal cells.
+	DistSFC
+)
+
+func (s DistStrategy) String() string {
+	switch s {
+	case DistRoundRobin:
+		return "roundrobin"
+	case DistKnapsack:
+		return "knapsack"
+	case DistSFC:
+		return "sfc"
+	default:
+		return fmt.Sprintf("DistStrategy(%d)", int(s))
+	}
+}
+
+// Distribute builds a DistributionMapping for ba over nprocs ranks.
+func Distribute(ba BoxArray, nprocs int, strategy DistStrategy) DistributionMapping {
+	n := ba.Len()
+	owner := make([]int, n)
+	if nprocs < 1 {
+		nprocs = 1
+	}
+	switch strategy {
+	case DistRoundRobin:
+		for i := range owner {
+			owner[i] = i % nprocs
+		}
+	case DistKnapsack:
+		type item struct {
+			idx int
+			pts int64
+		}
+		items := make([]item, n)
+		for i, b := range ba.Boxes {
+			items[i] = item{idx: i, pts: b.NumPts()}
+		}
+		sort.Slice(items, func(a, b int) bool {
+			if items[a].pts != items[b].pts {
+				return items[a].pts > items[b].pts
+			}
+			return items[a].idx < items[b].idx // deterministic tie-break
+		})
+		load := make([]int64, nprocs)
+		for _, it := range items {
+			best := 0
+			for r := 1; r < nprocs; r++ {
+				if load[r] < load[best] {
+					best = r
+				}
+			}
+			owner[it.idx] = best
+			load[best] += it.pts
+		}
+	case DistSFC:
+		type item struct {
+			idx  int
+			code uint64
+			pts  int64
+		}
+		items := make([]item, n)
+		var total int64
+		for i, b := range ba.Boxes {
+			c := b.Lo.Add(b.Hi) // 2*center; monotone in center
+			items[i] = item{idx: i, code: grid.Morton(c.X, c.Y), pts: b.NumPts()}
+			total += b.NumPts()
+		}
+		sort.Slice(items, func(a, b int) bool {
+			if items[a].code != items[b].code {
+				return items[a].code < items[b].code
+			}
+			return items[a].idx < items[b].idx
+		})
+		perRank := float64(total) / float64(nprocs)
+		var acc int64
+		rank := 0
+		for _, it := range items {
+			if rank < nprocs-1 && float64(acc) >= perRank*float64(rank+1) {
+				rank++
+			}
+			owner[it.idx] = rank
+			acc += it.pts
+		}
+	default:
+		panic(fmt.Sprintf("amr: unknown distribution strategy %d", strategy))
+	}
+	return DistributionMapping{Owner: owner}
+}
+
+// RankBoxes returns the box indices owned by rank.
+func (dm DistributionMapping) RankBoxes(rank int) []int {
+	var out []int
+	for i, o := range dm.Owner {
+		if o == rank {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// LoadPerRank returns total cells owned by each of nprocs ranks.
+func (dm DistributionMapping) LoadPerRank(ba BoxArray, nprocs int) []int64 {
+	load := make([]int64, nprocs)
+	for i, o := range dm.Owner {
+		load[o] += ba.Boxes[i].NumPts()
+	}
+	return load
+}

@@ -1,0 +1,286 @@
+package amr
+
+import (
+	"sort"
+
+	"amrproxyio/internal/grid"
+)
+
+// This file implements grid generation from tagged cells: the
+// Berger–Rigoutsos point-clustering algorithm AMReX uses, plus the
+// blocking-factor / max-grid-size post-processing that turns raw clusters
+// into a legal BoxArray for the next finer level.
+
+// TagSet is a deduplicated set of tagged cells in a level's index space.
+type TagSet struct {
+	cells map[grid.IntVect]struct{}
+}
+
+// NewTagSet returns an empty tag set.
+func NewTagSet() *TagSet {
+	return &TagSet{cells: map[grid.IntVect]struct{}{}}
+}
+
+// Add tags a cell.
+func (t *TagSet) Add(p grid.IntVect) { t.cells[p] = struct{}{} }
+
+// Len returns the number of tagged cells.
+func (t *TagSet) Len() int { return len(t.cells) }
+
+// Points returns the tags in deterministic (sorted) order.
+func (t *TagSet) Points() []grid.IntVect {
+	out := make([]grid.IntVect, 0, len(t.cells))
+	for p := range t.cells {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Y != out[j].Y {
+			return out[i].Y < out[j].Y
+		}
+		return out[i].X < out[j].X
+	})
+	return out
+}
+
+// Buffer expands every tag by n cells in each direction (the AMReX
+// n_error_buf safety margin), clipped to domain.
+func (t *TagSet) Buffer(n int, domain grid.Box) *TagSet {
+	if n <= 0 {
+		return t
+	}
+	out := NewTagSet()
+	for p := range t.cells {
+		for dj := -n; dj <= n; dj++ {
+			for di := -n; di <= n; di++ {
+				q := grid.IntVect{X: p.X + di, Y: p.Y + dj}
+				if domain.Contains(q) {
+					out.Add(q)
+				}
+			}
+		}
+	}
+	return out
+}
+
+// Coarsen maps tags to a coarser index space (deduplicating).
+func (t *TagSet) Coarsen(ratio int) *TagSet {
+	if ratio <= 1 {
+		return t
+	}
+	out := NewTagSet()
+	for p := range t.cells {
+		out.Add(p.Coarsen(ratio))
+	}
+	return out
+}
+
+// boundingBox returns the minimal box containing all points (which must be
+// non-empty).
+func boundingBox(pts []grid.IntVect) grid.Box {
+	lo, hi := pts[0], pts[0]
+	for _, p := range pts[1:] {
+		lo = lo.Min(p)
+		hi = hi.Max(p)
+	}
+	return grid.NewBox(lo, hi)
+}
+
+// Cluster runs Berger–Rigoutsos on the tag points: recursively split the
+// bounding box at signature holes or Laplacian inflection points until
+// every cluster's fill efficiency (tags / box cells) reaches eff. The
+// returned boxes are disjoint and cover every tag.
+func Cluster(pts []grid.IntVect, eff float64) []grid.Box {
+	if len(pts) == 0 {
+		return nil
+	}
+	var out []grid.Box
+	clusterRecurse(pts, eff, &out, 0)
+	return out
+}
+
+const maxClusterDepth = 48
+
+func clusterRecurse(pts []grid.IntVect, eff float64, out *[]grid.Box, depth int) {
+	bb := boundingBox(pts)
+	fill := float64(len(pts)) / float64(bb.NumPts())
+	if fill >= eff || bb.NumPts() <= 4 || depth >= maxClusterDepth {
+		*out = append(*out, bb)
+		return
+	}
+	dir, split, ok := findSplit(pts, bb)
+	if !ok {
+		*out = append(*out, bb)
+		return
+	}
+	var a, b []grid.IntVect
+	for _, p := range pts {
+		coord := p.X
+		if dir == 1 {
+			coord = p.Y
+		}
+		if coord < split {
+			a = append(a, p)
+		} else {
+			b = append(b, p)
+		}
+	}
+	if len(a) == 0 || len(b) == 0 { // degenerate split; accept the box
+		*out = append(*out, bb)
+		return
+	}
+	clusterRecurse(a, eff, out, depth+1)
+	clusterRecurse(b, eff, out, depth+1)
+}
+
+// findSplit chooses the split plane. Preference order follows
+// Berger–Rigoutsos: (1) the widest signature hole, (2) the strongest
+// Laplacian inflection, (3) bisection of the long direction.
+func findSplit(pts []grid.IntVect, bb grid.Box) (dir, split int, ok bool) {
+	sigX := signature(pts, bb, 0)
+	sigY := signature(pts, bb, 1)
+
+	// 1) Holes: zero-signature planes strictly inside the box.
+	if s, found := bestHole(sigX); found {
+		return 0, bb.Lo.X + s, true
+	}
+	if s, found := bestHole(sigY); found {
+		return 1, bb.Lo.Y + s, true
+	}
+
+	// 2) Laplacian inflection with the largest jump.
+	bestDir, bestIdx, bestMag := -1, -1, 0
+	if idx, mag, found := bestInflection(sigX); found {
+		bestDir, bestIdx, bestMag = 0, idx, mag
+	}
+	if idx, mag, found := bestInflection(sigY); found && mag > bestMag {
+		bestDir, bestIdx, bestMag = 1, idx, mag
+	}
+	if bestDir >= 0 {
+		if bestDir == 0 {
+			return 0, bb.Lo.X + bestIdx, true
+		}
+		return 1, bb.Lo.Y + bestIdx, true
+	}
+
+	// 3) Bisect the long direction if it is at least 2 wide.
+	size := bb.Size()
+	if size.X >= size.Y && size.X >= 2 {
+		return 0, bb.Lo.X + size.X/2, true
+	}
+	if size.Y >= 2 {
+		return 1, bb.Lo.Y + size.Y/2, true
+	}
+	return 0, 0, false
+}
+
+// signature histograms tag counts along direction dir (0 = per-column in
+// X, 1 = per-row in Y).
+func signature(pts []grid.IntVect, bb grid.Box, dir int) []int {
+	var n, lo int
+	if dir == 0 {
+		n, lo = bb.Size().X, bb.Lo.X
+	} else {
+		n, lo = bb.Size().Y, bb.Lo.Y
+	}
+	sig := make([]int, n)
+	for _, p := range pts {
+		if dir == 0 {
+			sig[p.X-lo]++
+		} else {
+			sig[p.Y-lo]++
+		}
+	}
+	return sig
+}
+
+// bestHole returns the split offset at the middle of the widest run of
+// zero-signature planes strictly inside (0, len).
+func bestHole(sig []int) (int, bool) {
+	bestStart, bestLen := -1, 0
+	run, runStart := 0, -1
+	// A tight bounding box guarantees sig[0] > 0 and sig[len-1] > 0, so any
+	// zero run is strictly interior.
+	for i := 1; i < len(sig)-1; i++ {
+		if sig[i] == 0 {
+			if run == 0 {
+				runStart = i
+			}
+			run++
+			if run > bestLen {
+				bestStart, bestLen = runStart, run
+			}
+		} else {
+			run = 0
+		}
+	}
+	if bestLen == 0 || bestStart == 0 {
+		return 0, false
+	}
+	return bestStart + bestLen/2, true
+}
+
+// bestInflection finds the index with the largest |Δlaplacian| sign
+// change, the classic Berger–Rigoutsos edge detector.
+func bestInflection(sig []int) (idx, mag int, ok bool) {
+	n := len(sig)
+	if n < 4 {
+		return 0, 0, false
+	}
+	lap := make([]int, n)
+	for i := 1; i < n-1; i++ {
+		lap[i] = sig[i+1] - 2*sig[i] + sig[i-1]
+	}
+	best, bestMag := -1, 0
+	for i := 1; i < n-2; i++ {
+		if lap[i]*lap[i+1] < 0 {
+			m := abs(lap[i] - lap[i+1])
+			if m > bestMag {
+				best, bestMag = i+1, m
+			}
+		}
+	}
+	if best <= 0 || best >= n {
+		return 0, 0, false
+	}
+	return best, bestMag, true
+}
+
+func abs(v int) int {
+	if v < 0 {
+		return -v
+	}
+	return v
+}
+
+// MakeFineBoxArray converts level-l tags into the BoxArray for level l+1:
+//
+//  1. buffer tags by bufferCells (clipped to the level-l domain),
+//  2. coarsen by blockingFactor/ratio so that refined boxes land aligned,
+//  3. Berger–Rigoutsos cluster at gridEff efficiency,
+//  4. refine back, clip to the domain, refine by ratio into l+1 index
+//     space, and
+//  5. split to maxGridSize with blockingFactor alignment.
+//
+// The result is disjoint and covers every (buffered) tag refined by ratio.
+func MakeFineBoxArray(tags *TagSet, levelDomain grid.Box, ratio, blockingFactor, maxGridSize int, gridEff float64, bufferCells int) BoxArray {
+	if tags.Len() == 0 {
+		return BoxArray{}
+	}
+	buffered := tags.Buffer(bufferCells, levelDomain)
+	cbf := blockingFactor / ratio
+	if cbf < 1 {
+		cbf = 1
+	}
+	coarse := buffered.Coarsen(cbf)
+	raw := Cluster(coarse.Points(), gridEff)
+	var fine []grid.Box
+	for _, b := range raw {
+		lb := b.Refine(cbf).Intersect(levelDomain)
+		if lb.IsEmpty() {
+			continue
+		}
+		fb := lb.Refine(ratio)
+		fine = append(fine, fb.SplitMax(maxGridSize, blockingFactor)...)
+	}
+	return BoxArray{Boxes: fine}
+}

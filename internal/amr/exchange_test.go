@@ -1,0 +1,105 @@
+package amr
+
+import (
+	"testing"
+
+	"amrproxyio/internal/grid"
+	"amrproxyio/internal/mpisim"
+)
+
+// buildExchangeFixture creates a 4-box MultiFab with distinct values per
+// box so ghost provenance is checkable.
+func buildExchangeFixture(nprocs int, strategy DistStrategy) *MultiFab {
+	dom := grid.NewBox(grid.IV(0, 0), grid.IV(15, 15))
+	ba := SingleBoxArray(dom, 8, 8)
+	dm := Distribute(ba, nprocs, strategy)
+	mf := NewMultiFab(ba, dm, 2, 2)
+	for idx, f := range mf.FABs {
+		for j := f.ValidBox.Lo.Y; j <= f.ValidBox.Hi.Y; j++ {
+			for i := f.ValidBox.Lo.X; i <= f.ValidBox.Hi.X; i++ {
+				f.Set(i, j, 0, float64(1000*idx+10*i+j))
+				f.Set(i, j, 1, float64(idx))
+			}
+		}
+	}
+	return mf
+}
+
+func TestFillBoundaryDistributedMatchesSerial(t *testing.T) {
+	for _, nprocs := range []int{1, 2, 4} {
+		serial := buildExchangeFixture(nprocs, DistRoundRobin)
+		distributed := buildExchangeFixture(nprocs, DistRoundRobin)
+
+		serial.FillBoundary()
+		world := mpisim.NewWorld(nprocs)
+		if err := distributed.FillBoundaryDistributed(world); err != nil {
+			t.Fatalf("nprocs=%d: %v", nprocs, err)
+		}
+		for idx := range serial.FABs {
+			a, b := serial.FABs[idx], distributed.FABs[idx]
+			for k := range a.Data {
+				if a.Data[k] != b.Data[k] {
+					t.Fatalf("nprocs=%d box %d: data[%d] %g != %g",
+						nprocs, idx, k, a.Data[k], b.Data[k])
+				}
+			}
+		}
+	}
+}
+
+func TestFillBoundaryDistributedTraffic(t *testing.T) {
+	mf := buildExchangeFixture(4, DistRoundRobin)
+	world := mpisim.NewWorld(4)
+	if err := mf.FillBoundaryDistributed(world); err != nil {
+		t.Fatal(err)
+	}
+	stats := world.Stats()
+	if stats.Messages == 0 {
+		t.Fatal("no messages recorded for a 4-rank exchange")
+	}
+	// Single rank: all copies are local, no traffic beyond barriers.
+	mf1 := buildExchangeFixture(1, DistRoundRobin)
+	world1 := mpisim.NewWorld(1)
+	if err := mf1.FillBoundaryDistributed(world1); err != nil {
+		t.Fatal(err)
+	}
+	if world1.Stats().Messages != 0 {
+		t.Errorf("single-rank exchange sent %d messages", world1.Stats().Messages)
+	}
+}
+
+func TestExchangeVolume(t *testing.T) {
+	// All boxes on one rank: zero off-rank volume.
+	mf1 := buildExchangeFixture(1, DistRoundRobin)
+	if v := mf1.ExchangeVolume(); v != 0 {
+		t.Errorf("single-rank volume = %d", v)
+	}
+	// Spread over 4 ranks: every neighbor overlap crosses ranks.
+	mf4 := buildExchangeFixture(4, DistRoundRobin)
+	v4 := mf4.ExchangeVolume()
+	if v4 <= 0 {
+		t.Fatalf("4-rank volume = %d", v4)
+	}
+	// The volume matches the traffic the real exchange generates.
+	world := mpisim.NewWorld(4)
+	if err := mf4.FillBoundaryDistributed(world); err != nil {
+		t.Fatal(err)
+	}
+	if got := world.Stats().Bytes; got < v4 {
+		t.Errorf("recorded traffic %d < analytic volume %d", got, v4)
+	}
+}
+
+func TestExchangeVolumeDependsOnMapping(t *testing.T) {
+	// SFC keeps neighbors on the same rank more often than round-robin on
+	// a regular grid, so its off-rank exchange volume must not exceed
+	// round-robin's.
+	dom := grid.NewBox(grid.IV(0, 0), grid.IV(63, 63))
+	ba := SingleBoxArray(dom, 8, 8) // 64 boxes
+	rr := NewMultiFab(ba, Distribute(ba, 8, DistRoundRobin), 1, 1)
+	sfc := NewMultiFab(ba, Distribute(ba, 8, DistSFC), 1, 1)
+	if sfc.ExchangeVolume() > rr.ExchangeVolume() {
+		t.Errorf("SFC volume %d > round-robin volume %d",
+			sfc.ExchangeVolume(), rr.ExchangeVolume())
+	}
+}

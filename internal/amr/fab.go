@@ -1,0 +1,116 @@
+package amr
+
+import (
+	"fmt"
+	"math"
+
+	"amrproxyio/internal/grid"
+)
+
+// FAB is a Fortran-Array-Box-style container: ncomp float64 fields over a
+// valid box grown by nghost ghost cells. Data layout is component-major,
+// then row-major within a component (j outer, i inner), matching the
+// on-disk FAB layout the plotfile writer serializes.
+type FAB struct {
+	ValidBox grid.Box // the box this FAB is responsible for
+	DataBox  grid.Box // ValidBox grown by NGhost
+	NComp    int
+	NGhost   int
+	Data     []float64
+	nx, ny   int
+}
+
+// NewFAB allocates a zeroed FAB.
+func NewFAB(valid grid.Box, ncomp, nghost int) *FAB {
+	if valid.IsEmpty() {
+		panic("amr: NewFAB on empty box")
+	}
+	if ncomp < 1 {
+		panic(fmt.Sprintf("amr: NewFAB ncomp=%d", ncomp))
+	}
+	db := valid.Grow(nghost)
+	s := db.Size()
+	return &FAB{
+		ValidBox: valid,
+		DataBox:  db,
+		NComp:    ncomp,
+		NGhost:   nghost,
+		Data:     make([]float64, ncomp*s.X*s.Y),
+		nx:       s.X,
+		ny:       s.Y,
+	}
+}
+
+// index computes the flat offset of (i, j, comp); callers must stay inside
+// DataBox.
+func (f *FAB) index(i, j, comp int) int {
+	return comp*f.nx*f.ny + (j-f.DataBox.Lo.Y)*f.nx + (i - f.DataBox.Lo.X)
+}
+
+// At returns the value at cell (i,j) of component comp.
+func (f *FAB) At(i, j, comp int) float64 { return f.Data[f.index(i, j, comp)] }
+
+// Set stores v at cell (i,j) of component comp.
+func (f *FAB) Set(i, j, comp int, v float64) { f.Data[f.index(i, j, comp)] = v }
+
+// Add accumulates v at cell (i,j) of component comp.
+func (f *FAB) Add(i, j, comp int, v float64) { f.Data[f.index(i, j, comp)] += v }
+
+// FillConst sets component comp to v over the whole data box (ghosts
+// included).
+func (f *FAB) FillConst(comp int, v float64) {
+	base := comp * f.nx * f.ny
+	for k := base; k < base+f.nx*f.ny; k++ {
+		f.Data[k] = v
+	}
+}
+
+// CopyFrom copies all components of src over region (which must be inside
+// both data boxes).
+func (f *FAB) CopyFrom(src *FAB, region grid.Box) {
+	if f.NComp != src.NComp {
+		panic("amr: CopyFrom component mismatch")
+	}
+	for c := 0; c < f.NComp; c++ {
+		for j := region.Lo.Y; j <= region.Hi.Y; j++ {
+			di := f.index(region.Lo.X, j, c)
+			si := src.index(region.Lo.X, j, c)
+			copy(f.Data[di:di+region.Size().X], src.Data[si:si+region.Size().X])
+		}
+	}
+}
+
+// MinMax returns the min and max of comp over the valid box.
+func (f *FAB) MinMax(comp int) (mn, mx float64) {
+	mn, mx = math.Inf(1), math.Inf(-1)
+	for j := f.ValidBox.Lo.Y; j <= f.ValidBox.Hi.Y; j++ {
+		for i := f.ValidBox.Lo.X; i <= f.ValidBox.Hi.X; i++ {
+			v := f.At(i, j, comp)
+			if v < mn {
+				mn = v
+			}
+			if v > mx {
+				mx = v
+			}
+		}
+	}
+	return
+}
+
+// Sum returns the sum of comp over the valid box.
+func (f *FAB) Sum(comp int) float64 {
+	var s float64
+	for j := f.ValidBox.Lo.Y; j <= f.ValidBox.Hi.Y; j++ {
+		for i := f.ValidBox.Lo.X; i <= f.ValidBox.Hi.X; i++ {
+			s += f.At(i, j, comp)
+		}
+	}
+	return s
+}
+
+// ValidBytes returns the serialized size of the valid region: the quantity
+// the plotfile writer puts on disk (no ghosts are written, matching
+// AMReX's WriteMultiLevelPlotfile).
+func (f *FAB) ValidBytes() int64 {
+	return f.ValidBox.NumPts() * int64(f.NComp) * 8
+}

@@ -1,0 +1,60 @@
+package amr
+
+import (
+	"math"
+
+	"amrproxyio/internal/grid"
+)
+
+// Error estimation: which cells of a level need refinement. Castro's Sedov
+// setup tags on density and pressure gradients; we implement the standard
+// relative undivided-gradient criterion.
+
+// TagGradient tags every valid cell where the undivided gradient of
+// component comp, relative to the local magnitude, exceeds relThreshold.
+// The MultiFab's ghost cells must be filled (FillPatch) so stencils at box
+// edges see neighbor data.
+func TagGradient(mf *MultiFab, comp int, relThreshold float64) *TagSet {
+	tags := NewTagSet()
+	floor := 1e-12
+	for _, f := range mf.FABs {
+		for j := f.ValidBox.Lo.Y; j <= f.ValidBox.Hi.Y; j++ {
+			for i := f.ValidBox.Lo.X; i <= f.ValidBox.Hi.X; i++ {
+				v := f.At(i, j, comp)
+				g := math.Abs(f.At(i+1, j, comp) - v)
+				if d := math.Abs(v - f.At(i-1, j, comp)); d > g {
+					g = d
+				}
+				if d := math.Abs(f.At(i, j+1, comp) - v); d > g {
+					g = d
+				}
+				if d := math.Abs(v - f.At(i, j-1, comp)); d > g {
+					g = d
+				}
+				den := math.Abs(v)
+				if den < floor {
+					den = floor
+				}
+				if g/den > relThreshold {
+					tags.Add(grid.IntVect{X: i, Y: j})
+				}
+			}
+		}
+	}
+	return tags
+}
+
+// EnforceNesting clips a candidate fine-level BoxArray (in level-(l+1)
+// index space) to lie inside the parent level's region (parent is in
+// level-l index space). AMReX calls this proper nesting: a fine level may
+// only exist where its parent level exists.
+func EnforceNesting(fine BoxArray, parent BoxArray, ratio int) BoxArray {
+	refined := parent.Refine(ratio)
+	var out []grid.Box
+	for _, fb := range fine.Boxes {
+		for _, isect := range refined.Intersections(fb) {
+			out = append(out, isect.Box)
+		}
+	}
+	return BoxArray{Boxes: out}
+}

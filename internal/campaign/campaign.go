@@ -1,0 +1,211 @@
+// Package campaign defines and executes the paper's Table III parameter
+// study: 47 Castro Sedov runs spanning amr.max_step 40-1000, amr.n_cell
+// 32² to 131072², amr.max_level 2-4, amr.plot_int 1-20, castro.cfl
+// 0.3-0.6, and 1-1024 MPI tasks on up to 512 Summit-node equivalents.
+//
+// Each case runs on one of two engines: the real hydrodynamics solver
+// (internal/sim) at laptop-tractable sizes, or the analytic surrogate
+// (internal/surrogate) at Summit scale — with the same meshing and I/O
+// pipeline either way. Results carry the full Eq. (2) output ledger and
+// serialize to JSON for the reporting and benchmark layers.
+package campaign
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"amrproxyio/internal/core"
+	"amrproxyio/internal/inputs"
+	"amrproxyio/internal/iosim"
+	"amrproxyio/internal/plotfile"
+	"amrproxyio/internal/sim"
+	"amrproxyio/internal/surrogate"
+)
+
+// Engine selects the execution substrate for a case.
+type Engine string
+
+// Engines. Auto picks Hydro at or below HydroCellLimit, Surrogate above.
+const (
+	EngineAuto      Engine = "auto"
+	EngineHydro     Engine = "hydro"
+	EngineSurrogate Engine = "surrogate"
+)
+
+// HydroCellLimit is the largest square mesh edge the full solver runs in
+// the campaign; larger cases use the surrogate (documented substitution).
+const HydroCellLimit = 192
+
+// Case is one row of the Table III study.
+type Case struct {
+	Name     string  `json:"name"`
+	NCell    int     `json:"n_cell"` // square mesh edge
+	MaxLevel int     `json:"max_level"`
+	MaxStep  int     `json:"max_step"`
+	PlotInt  int     `json:"plot_int"`
+	CFL      float64 `json:"cfl"`
+	NProcs   int     `json:"nprocs"`
+	Nodes    int     `json:"summit_nodes"`
+	Engine   Engine  `json:"engine"`
+}
+
+// Inputs converts a case to the Castro configuration it runs with.
+func (c Case) Inputs() inputs.CastroInputs {
+	cfg := inputs.DefaultCastroInputs()
+	cfg.NCell = [2]int{c.NCell, c.NCell}
+	cfg.MaxLevel = c.MaxLevel
+	cfg.MaxStep = c.MaxStep
+	cfg.PlotInt = c.PlotInt
+	cfg.CFL = c.CFL
+	cfg.NProcs = c.NProcs
+	cfg.StopTime = 10 // step-bounded, not time-bounded
+	if c.NCell <= 64 {
+		cfg.MaxGridSize = 32
+		cfg.BlockingFactor = 8
+	} else if c.NCell <= 1024 {
+		cfg.MaxGridSize = 64
+		cfg.BlockingFactor = 8
+	} else {
+		cfg.MaxGridSize = 256
+		cfg.BlockingFactor = 8
+	}
+	return cfg
+}
+
+// engineFor resolves EngineAuto.
+func (c Case) engineFor() Engine {
+	if c.Engine == EngineHydro || c.Engine == EngineSurrogate {
+		return c.Engine
+	}
+	if c.NCell <= HydroCellLimit {
+		return EngineHydro
+	}
+	return EngineSurrogate
+}
+
+// Scaled returns a reduced copy for fast benchmarking: the mesh edge
+// divides by div (with a floor) while cfl, levels, and rank counts are
+// preserved. Step counts shrink less aggressively — the Sedov spin-up
+// (castro.init_shrink damping plus the hot-center sound speed) consumes a
+// fixed number of early steps regardless of mesh size, which is exactly
+// why the paper's case4 runs 400 steps for 20 outputs. The scaled case
+// keeps at least 160 steps and re-derives plot_int to preserve the
+// original number of plot events.
+func (c Case) Scaled(div int) Case {
+	if div <= 1 {
+		return c
+	}
+	out := c
+	out.Name = fmt.Sprintf("%s_div%d", c.Name, div)
+	out.NCell = max(32, c.NCell/div)
+	events := max(2, c.MaxStep/max(1, c.PlotInt))
+	out.MaxStep = max(160, c.MaxStep/div)
+	out.PlotInt = max(1, out.MaxStep/events)
+	out.NProcs = max(1, min(c.NProcs, 64)) // cap goroutine fan-out
+	return out
+}
+
+// Result is a completed case with its output ledger.
+type Result struct {
+	Case    Case                    `json:"case"`
+	Engine  Engine                  `json:"engine"`
+	Records []plotfile.OutputRecord `json:"records"`
+	NPlots  int                     `json:"n_plots"`
+	SimTime float64                 `json:"sim_time"`
+	Wall    time.Duration           `json:"wall_ns"`
+}
+
+// TotalBytes sums the ledger.
+func (r Result) TotalBytes() int64 {
+	return plotfile.TotalBytes(r.Records)
+}
+
+// Run executes a case through the given filesystem model (which may be
+// shared across cases; pass a fresh one to isolate ledgers).
+func Run(c Case, fs *iosim.FileSystem) (Result, error) {
+	start := time.Now()
+	cfg := c.Inputs()
+	res := Result{Case: c, Engine: c.engineFor()}
+	switch res.Engine {
+	case EngineHydro:
+		opts := sim.DefaultOptions()
+		s, err := sim.New(cfg, opts, fs)
+		if err != nil {
+			return res, fmt.Errorf("campaign %s: %w", c.Name, err)
+		}
+		if err := s.Run(); err != nil {
+			return res, fmt.Errorf("campaign %s: %w", c.Name, err)
+		}
+		res.Records = s.Records()
+		res.NPlots = s.NPlots()
+		res.SimTime = s.Time
+	case EngineSurrogate:
+		opts := surrogate.DefaultOptions()
+		r, err := surrogate.New(cfg, opts, fs)
+		if err != nil {
+			return res, fmt.Errorf("campaign %s: %w", c.Name, err)
+		}
+		if err := r.Run(); err != nil {
+			return res, fmt.Errorf("campaign %s: %w", c.Name, err)
+		}
+		res.Records = r.Records()
+		res.NPlots = r.NPlots()
+		res.SimTime = r.Time
+	default:
+		return res, fmt.Errorf("campaign %s: unknown engine %q", c.Name, res.Engine)
+	}
+	res.Wall = time.Since(start)
+	return res, nil
+}
+
+// Observation reduces a result to the feature tuple the predictive-sizing
+// model (core.FitSizePredictor) trains on.
+func (r Result) Observation() core.RunObservation {
+	return core.RunObservation{
+		NCellX:     r.Case.NCell,
+		NCellY:     r.Case.NCell,
+		MaxLevel:   r.Case.MaxLevel,
+		CFL:        r.Case.CFL,
+		NProcs:     r.Case.NProcs,
+		PlotEvents: r.NPlots,
+		TotalBytes: r.TotalBytes(),
+	}
+}
+
+// Save writes a result to a JSON file.
+func (r Result) Save(path string) error {
+	data, err := json.MarshalIndent(r, "", " ")
+	if err != nil {
+		return fmt.Errorf("campaign: marshal %s: %w", r.Case.Name, err)
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// LoadResult reads a previously saved result.
+func LoadResult(path string) (Result, error) {
+	var r Result
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return r, fmt.Errorf("campaign: %w", err)
+	}
+	if err := json.Unmarshal(data, &r); err != nil {
+		return r, fmt.Errorf("campaign: unmarshal %s: %w", path, err)
+	}
+	return r, nil
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,54 @@
+package campaign
+
+import (
+	"math"
+	"testing"
+
+	"amrproxyio/internal/core"
+)
+
+// TestPredictorOnRealCampaignRuns trains the size predictor on actual
+// campaign executions and checks it interpolates a held-out configuration
+// within a factor-level tolerance (the paper's autotuning use case).
+func TestPredictorOnRealCampaignRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("campaign predictor training skipped in -short")
+	}
+	train := []Case{
+		{Name: "p32a", NCell: 32, MaxLevel: 2, MaxStep: 200, PlotInt: 20, CFL: 0.3, NProcs: 2, Engine: EngineHydro},
+		{Name: "p32b", NCell: 32, MaxLevel: 3, MaxStep: 200, PlotInt: 20, CFL: 0.5, NProcs: 2, Engine: EngineHydro},
+		{Name: "p64a", NCell: 64, MaxLevel: 2, MaxStep: 200, PlotInt: 20, CFL: 0.3, NProcs: 4, Engine: EngineHydro},
+		{Name: "p64b", NCell: 64, MaxLevel: 3, MaxStep: 200, PlotInt: 20, CFL: 0.6, NProcs: 4, Engine: EngineHydro},
+		{Name: "p64c", NCell: 64, MaxLevel: 2, MaxStep: 200, PlotInt: 10, CFL: 0.5, NProcs: 4, Engine: EngineHydro},
+		{Name: "p96a", NCell: 96, MaxLevel: 2, MaxStep: 200, PlotInt: 20, CFL: 0.4, NProcs: 4, Engine: EngineHydro},
+		{Name: "p96b", NCell: 96, MaxLevel: 3, MaxStep: 200, PlotInt: 10, CFL: 0.5, NProcs: 4, Engine: EngineHydro},
+	}
+	var obs []core.RunObservation
+	for _, c := range train {
+		res, err := Run(c, modelFS())
+		if err != nil {
+			t.Fatalf("%s: %v", c.Name, err)
+		}
+		obs = append(obs, res.Observation())
+	}
+	p, err := core.FitSizePredictor(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.InSampleMAPE > 40 {
+		t.Errorf("in-sample MAPE = %.1f%%", p.InSampleMAPE)
+	}
+
+	// Held-out configuration inside the training envelope.
+	held := Case{Name: "held", NCell: 64, MaxLevel: 3, MaxStep: 200, PlotInt: 20, CFL: 0.4, NProcs: 4, Engine: EngineHydro}
+	res, err := Run(held, modelFS())
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := res.Observation()
+	pred := p.PredictBytes(o)
+	rel := math.Abs(pred-float64(o.TotalBytes)) / float64(o.TotalBytes)
+	if rel > 0.6 {
+		t.Errorf("held-out relative error = %.2f (pred %g vs actual %d)", rel, pred, o.TotalBytes)
+	}
+}

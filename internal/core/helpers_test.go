@@ -1,0 +1,9 @@
+package core
+
+import "amrproxyio/internal/iosim"
+
+func newModelFS() *iosim.FileSystem {
+	c := iosim.DefaultConfig()
+	c.JitterSigma = 0
+	return iosim.New(c, "")
+}

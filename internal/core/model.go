@@ -1,0 +1,333 @@
+// Package core implements the paper's contribution: the analytical model
+// that translates AMReX Castro inputs into MACSio proxy parameters.
+//
+//   - Eq. (1): the cumulative independent variable x = output_counter ×
+//     ncells built from a run's plot events.
+//   - Eq. (2): the dependent output sizes y at the (time step, level, task)
+//     hierarchy, extracted from the plotfile ledger.
+//   - Eq. (3): part_size = f · 8 · Nx · Ny / nprocs with the correction
+//     factor f fitted from a measured run.
+//   - Listing 1: the functional mapping g(AMR inputs) → MACSio arguments,
+//     with dataset_growth calibrated against the measured per-step series
+//     by single-parameter minimization (the paper's Fig. 9 procedure) or,
+//     alternatively, by log-linear regression.
+package core
+
+import (
+	"fmt"
+	"math"
+	"sort"
+
+	"amrproxyio/internal/inputs"
+	"amrproxyio/internal/macsio"
+	"amrproxyio/internal/plotfile"
+	"amrproxyio/internal/stats"
+)
+
+// PerStepBytes collapses ledger records into total bytes per plot event,
+// ordered by step — the y series behind Figs. 9-11.
+func PerStepBytes(recs []plotfile.OutputRecord) (steps []int, bytes []int64) {
+	agg := map[int]int64{}
+	for _, r := range recs {
+		agg[r.Step] += r.Bytes
+	}
+	for s := range agg {
+		steps = append(steps, s)
+	}
+	sort.Ints(steps)
+	for _, s := range steps {
+		bytes = append(bytes, agg[s])
+	}
+	return
+}
+
+// PerLevelPerStep returns bytes[level][k] for plot event k — Fig. 7's
+// per-level decomposition.
+func PerLevelPerStep(recs []plotfile.OutputRecord) (steps []int, byLevel map[int][]int64) {
+	type key struct{ step, level int }
+	agg := map[key]int64{}
+	stepSet := map[int]bool{}
+	maxLevel := 0
+	for _, r := range recs {
+		agg[key{r.Step, r.Level}] += r.Bytes
+		stepSet[r.Step] = true
+		if r.Level > maxLevel {
+			maxLevel = r.Level
+		}
+	}
+	for s := range stepSet {
+		steps = append(steps, s)
+	}
+	sort.Ints(steps)
+	byLevel = map[int][]int64{}
+	for l := 0; l <= maxLevel; l++ {
+		series := make([]int64, len(steps))
+		for k, s := range steps {
+			series[k] = agg[key{s, l}]
+		}
+		byLevel[l] = series
+	}
+	return
+}
+
+// PerTaskPerStep returns bytes[rank][k] for a single level — Fig. 8's
+// per-task view.
+func PerTaskPerStep(recs []plotfile.OutputRecord, level, nprocs int) (steps []int, byTask [][]int64) {
+	type key struct{ step, rank int }
+	agg := map[key]int64{}
+	stepSet := map[int]bool{}
+	for _, r := range recs {
+		if r.Level != level {
+			continue
+		}
+		agg[key{r.Step, r.Rank}] += r.Bytes
+		stepSet[r.Step] = true
+	}
+	for s := range stepSet {
+		steps = append(steps, s)
+	}
+	sort.Ints(steps)
+	byTask = make([][]int64, nprocs)
+	for rank := 0; rank < nprocs; rank++ {
+		series := make([]int64, len(steps))
+		for k, s := range steps {
+			series[k] = agg[key{s, rank}]
+		}
+		byTask[rank] = series
+	}
+	return
+}
+
+// CumulativeXY builds the paper's Eq. (1)/(2) cumulative series: for the
+// k-th plot event (1-based), x_k = k · Nx·Ny and y_k = cumulative bytes
+// through event k. This is the Fig. 5 coordinate system.
+func CumulativeXY(recs []plotfile.OutputRecord, ncells int64) (xs, ys []float64) {
+	_, perStep := PerStepBytes(recs)
+	var acc float64
+	for k, b := range perStep {
+		acc += float64(b)
+		xs = append(xs, float64(k+1)*float64(ncells))
+		ys = append(ys, acc)
+	}
+	return
+}
+
+// PartSizeEq3 evaluates the paper's Eq. (3):
+// part_size = f · 8 · Nx · Ny / nprocs  [bytes].
+func PartSizeEq3(f float64, nx, ny, nprocs int) int64 {
+	return int64(f * 8 * float64(nx) * float64(ny) / float64(nprocs))
+}
+
+// FMatch selects what the Eq. 3 factor f is fitted against.
+type FMatch int
+
+const (
+	// MatchFileBytes fits f so MACSio's actual on-disk bytes at the first
+	// dump match the measured AMReX bytes (what an external observer of
+	// the filesystem sees). The JSON textual inflation is divided out.
+	MatchFileBytes FMatch = iota
+	// MatchNominal fits f against MACSio's nominal request size, the
+	// paper's part_size semantics.
+	MatchNominal
+)
+
+// FitF computes the Eq. 3 correction factor from the measured bytes of
+// the first plot event. For MatchNominal, f is the effective number of
+// 8-byte words MACSio must request per L0 cell to reproduce the AMReX
+// step; the paper's f ≈ 23-25 for Castro's derive_plot_vars=ALL output
+// (~20+ variables); this implementation writes 10 plot variables, so the
+// same fit lands proportionally lower — see EXPERIMENTS.md.
+func FitF(step0Bytes int64, nx, ny int, match FMatch) float64 {
+	denom := 8 * float64(nx) * float64(ny)
+	f := float64(step0Bytes) / denom
+	if match == MatchFileBytes {
+		f /= macsio.JSONInflation(1 << 16)
+	}
+	return f
+}
+
+// GrowthGuess is the paper's §Appendix-A guidance: dataset_growth in
+// [1.0, 1.02], increasing with the CFL number and the number of levels.
+// The interpolation is anchored at the paper's reported corners: cfl 0.3
+// with 2 levels near 1.0, cfl 0.6 with 4 levels near 1.02.
+func GrowthGuess(cfl float64, maxLevel int) float64 {
+	cflT := (cfl - 0.3) / (0.6 - 0.3)
+	levT := (float64(maxLevel) - 2) / 2
+	t := 0.5*clamp01(cflT) + 0.5*clamp01(levT)
+	return 1.0 + 0.02*t
+}
+
+func clamp01(v float64) float64 {
+	if v < 0 {
+		return 0
+	}
+	if v > 1 {
+		return 1
+	}
+	return v
+}
+
+// KernelModel is the calibrated "kernel" y(k) = Base · Growth^k the MACSio
+// proxy realizes per dump step.
+type KernelModel struct {
+	Base   float64 // bytes at the first dump
+	Growth float64 // per-dump multiplier (dataset_growth)
+}
+
+// Predict returns the modeled bytes at dump step k (0-based).
+func (m KernelModel) Predict(k int) float64 {
+	return m.Base * math.Pow(m.Growth, float64(k))
+}
+
+// PredictSeries evaluates the kernel at 0..n-1.
+func (m KernelModel) PredictSeries(n int) []float64 {
+	out := make([]float64, n)
+	for k := range out {
+		out[k] = m.Predict(k)
+	}
+	return out
+}
+
+// CalibrationIter records one step of the Fig. 9 convergence procedure.
+type CalibrationIter struct {
+	Growth float64
+	SSE    float64
+}
+
+// CalibrateGrowth fits dataset_growth by minimizing the SSE between the
+// kernel and the measured per-step bytes over [lo, hi], holding Base fixed
+// (the paper's "keeping the initial data size fixed would lead to a single
+// parameter optimization problem"). It returns the fitted model and the
+// iteration trace for Fig. 9.
+func CalibrateGrowth(measured []int64, base float64, lo, hi float64) (KernelModel, []CalibrationIter) {
+	target := make([]float64, len(measured))
+	for i, b := range measured {
+		target[i] = float64(b)
+	}
+	var trace []CalibrationIter
+	obj := func(g float64) float64 {
+		m := KernelModel{Base: base, Growth: g}
+		sse := stats.SSE(m.PredictSeries(len(target)), target)
+		trace = append(trace, CalibrationIter{Growth: g, SSE: sse})
+		return sse
+	}
+	g, _ := stats.GridThenGolden(obj, lo, hi, 21, 1e-9)
+	return KernelModel{Base: base, Growth: g}, trace
+}
+
+// CalibrateGrowthOLS fits ln(y_k) = ln(base) + k ln(growth) by ordinary
+// least squares — the "linear regression" formulation of the paper's
+// model, used as the ablation alternative to the SSE search.
+func CalibrateGrowthOLS(measured []int64) (KernelModel, error) {
+	if len(measured) < 2 {
+		return KernelModel{}, fmt.Errorf("core: need >= 2 plot events, got %d", len(measured))
+	}
+	xs := make([]float64, len(measured))
+	ys := make([]float64, len(measured))
+	for i, b := range measured {
+		if b <= 0 {
+			return KernelModel{}, fmt.Errorf("core: non-positive step bytes %d at %d", b, i)
+		}
+		xs[i] = float64(i)
+		ys[i] = math.Log(float64(b))
+	}
+	fit, err := stats.OLS(xs, ys)
+	if err != nil {
+		return KernelModel{}, err
+	}
+	return KernelModel{Base: math.Exp(fit.Intercept), Growth: math.Exp(fit.Slope)}, nil
+}
+
+// Translation is the result of the Listing-1 mapping g: AMR inputs (plus a
+// measured reference run) → MACSio invocation.
+type Translation struct {
+	MACSio macsio.Config
+	F      float64     // fitted Eq. 3 factor
+	Kernel KernelModel // calibrated per-dump kernel
+	Trace  []CalibrationIter
+	// Quality of the fit against the measured series.
+	MAPE    float64
+	Pearson float64
+}
+
+// TranslateOptions tunes the translation.
+type TranslateOptions struct {
+	Match       FMatch
+	GrowthLo    float64 // calibration bracket (default [1.0, 1.05])
+	GrowthHi    float64
+	ComputeTime float64 // seconds between dumps for dynamic studies
+}
+
+// DefaultTranslateOptions returns the paper-flavored defaults. The growth
+// bracket is wider than the paper's reported ≈[1.0, 1.02] operating range:
+// scaled-down meshes (where refined levels dominate L0) legitimately
+// calibrate to larger factors, and the search must be able to reach them.
+func DefaultTranslateOptions() TranslateOptions {
+	return TranslateOptions{Match: MatchNominal, GrowthLo: 1.0, GrowthHi: 1.15}
+}
+
+// Translate performs the full Listing-1 mapping: structural parameters
+// come straight from the inputs file (num_dumps = max_step/plot_int, MIF
+// nprocs, one part with one variable per task), part_size from Eq. 3 with
+// f fitted on the first measured plot event, and dataset_growth calibrated
+// against the measured per-step series.
+func Translate(cfg inputs.CastroInputs, measured []plotfile.OutputRecord, opts TranslateOptions) (Translation, error) {
+	if cfg.PlotInt <= 0 {
+		return Translation{}, fmt.Errorf("core: plot_int must be positive to model plots")
+	}
+	_, perStep := PerStepBytes(measured)
+	if len(perStep) == 0 {
+		return Translation{}, fmt.Errorf("core: measured run has no plot events")
+	}
+	f := FitF(perStep[0], cfg.NCell[0], cfg.NCell[1], opts.Match)
+	partSize := PartSizeEq3(f, cfg.NCell[0], cfg.NCell[1], cfg.NProcs)
+	if partSize < 8 {
+		partSize = 8
+	}
+	base := float64(perStep[0])
+	kernel, trace := CalibrateGrowth(perStep, base, opts.GrowthLo, opts.GrowthHi)
+
+	mcfg := macsio.DefaultConfig()
+	mcfg.Interface = macsio.IfaceMiftmpl
+	mcfg.FileMode = macsio.ModeMIF
+	mcfg.MIFFiles = cfg.NProcs
+	mcfg.NumDumps = cfg.MaxStep/cfg.PlotInt + 1 // plots at 0, plot_int, ...
+	mcfg.PartSize = partSize
+	mcfg.AvgNumParts = 1
+	mcfg.VarsPerPart = 1
+	mcfg.ComputeTime = opts.ComputeTime
+	mcfg.DatasetGrowth = kernel.Growth
+	mcfg.NProcs = cfg.NProcs
+	mcfg.SizeOnly = true
+
+	pred := kernel.PredictSeries(len(perStep))
+	meas := make([]float64, len(perStep))
+	for i, b := range perStep {
+		meas[i] = float64(b)
+	}
+	return Translation{
+		MACSio:  mcfg,
+		F:       f,
+		Kernel:  kernel,
+		Trace:   trace,
+		MAPE:    stats.MAPE(meas, pred),
+		Pearson: stats.Pearson(meas, pred),
+	}, nil
+}
+
+// PredictMACSioStepBytes returns the actual file bytes (data + root
+// metadata) a MACSio run with cfg would write at dump step k — the
+// closed-form predictor used when comparing the proxy against a measured
+// AMReX series without executing the dump loop.
+func PredictMACSioStepBytes(cfg macsio.Config, step int) int64 {
+	var total int64
+	for r := 0; r < cfg.NProcs; r++ {
+		nvals := int(cfg.NominalBytes(r, step) / 8)
+		if nvals < 1 {
+			nvals = 1
+		}
+		total += macsio.DataFileSize(cfg.Interface, nvals, cfg.VarsPerPart, cfg.MetaSize)
+	}
+	total += int64(len(macsio.EncodeRootMeta(cfg, step)))
+	return total
+}

@@ -1,0 +1,105 @@
+package core
+
+import (
+	"fmt"
+	"math"
+
+	"amrproxyio/internal/stats"
+)
+
+// Predictive sizing — the paper's stated follow-up ("a good initial
+// candidate for follow up studies on predictive I/O sizes ... that could
+// potentially benefit from machine-learning approaches as more data
+// becomes available", §V). Given the campaign's measured runs, fit a
+// log-linear regression of total output bytes on the input parameters so
+// that unseen configurations can be sized without running anything — the
+// autotuning use case the paper motivates.
+
+// RunObservation is one measured run reduced to model features.
+type RunObservation struct {
+	NCellX, NCellY int
+	MaxLevel       int
+	CFL            float64
+	NProcs         int
+	PlotEvents     int
+	TotalBytes     int64
+}
+
+// features maps an observation onto the regression design row:
+// [1, maxLevel, cfl]. The dimensional part of the scaling — bytes grow
+// linearly with L0 cells and with the number of plot events — is imposed
+// exactly rather than fitted (the same physics-informed structure as the
+// paper's Eq. 3: part_size ∝ 8·Nx·Ny), so that predictions extrapolate
+// from laptop-size training runs to Summit-size targets without the
+// regression aliasing the size exponent onto the other features.
+func (o RunObservation) features() []float64 {
+	return []float64{
+		1,
+		float64(o.MaxLevel),
+		o.CFL,
+	}
+}
+
+// dimensionalOffset is the exactly-known part of log(total bytes).
+func (o RunObservation) dimensionalOffset() float64 {
+	return math.Log(float64(o.NCellX)*float64(o.NCellY)) + math.Log(float64(o.PlotEvents))
+}
+
+// SizePredictor predicts total output bytes from run parameters.
+type SizePredictor struct {
+	Fit stats.MultiFit
+	// InSampleMAPE is the training-set error in percent.
+	InSampleMAPE float64
+}
+
+// FitSizePredictor fits log(total_bytes) - log(cells·events) against the
+// observation features by multiple OLS.
+func FitSizePredictor(obs []RunObservation) (SizePredictor, error) {
+	if len(obs) < 6 {
+		return SizePredictor{}, fmt.Errorf("core: need >= 6 observations, got %d", len(obs))
+	}
+	X := make([][]float64, len(obs))
+	y := make([]float64, len(obs))
+	for i, o := range obs {
+		if o.TotalBytes <= 0 || o.PlotEvents <= 0 || o.NCellX <= 0 || o.NCellY <= 0 {
+			return SizePredictor{}, fmt.Errorf("core: invalid observation %+v", o)
+		}
+		X[i] = o.features()
+		y[i] = math.Log(float64(o.TotalBytes)) - o.dimensionalOffset()
+	}
+	fit, err := stats.OLSMulti(X, y)
+	if err != nil {
+		return SizePredictor{}, err
+	}
+	p := SizePredictor{Fit: fit}
+	var meas, pred []float64
+	for _, o := range obs {
+		meas = append(meas, float64(o.TotalBytes))
+		pred = append(pred, p.PredictBytes(o))
+	}
+	p.InSampleMAPE = stats.MAPE(meas, pred)
+	return p, nil
+}
+
+// PredictBytes returns the modeled total output bytes for a configuration.
+func (p SizePredictor) PredictBytes(o RunObservation) float64 {
+	return math.Exp(p.Fit.Predict(o.features()) + o.dimensionalOffset())
+}
+
+// PredictMACSio builds a full MACSio invocation for an unseen
+// configuration from the predictor plus the paper's guidance table: total
+// bytes are split evenly over predicted plot events to seed part_size, and
+// dataset_growth comes from the cfl/level interpolation (GrowthGuess).
+func (p SizePredictor) PredictMACSio(o RunObservation) KernelModel {
+	total := p.PredictBytes(o)
+	growth := GrowthGuess(o.CFL, o.MaxLevel)
+	// Solve base * sum(growth^k, k=0..n-1) = total for base.
+	n := o.PlotEvents
+	var geom float64
+	if math.Abs(growth-1) < 1e-12 {
+		geom = float64(n)
+	} else {
+		geom = (math.Pow(growth, float64(n)) - 1) / (growth - 1)
+	}
+	return KernelModel{Base: total / geom, Growth: growth}
+}

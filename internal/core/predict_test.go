@@ -1,0 +1,135 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// synthObs generates observations from a known law:
+// bytes = C * ncells^a * events^b * exp(c*maxLevel + d*cfl).
+func synthObs(n int, noise float64, seed int64) []RunObservation {
+	rng := rand.New(rand.NewSource(seed))
+	const (
+		C = 80.0 // ~bytes per cell per event
+		a = 1.0
+		b = 1.0
+		c = 0.35
+		d = 0.2
+	)
+	var obs []RunObservation
+	sizes := []int{32, 64, 128, 256, 512, 1024}
+	for i := 0; i < n; i++ {
+		sz := sizes[i%len(sizes)]
+		ml := 2 + i%3
+		cfl := 0.3 + 0.1*float64(i%4)
+		events := 5 + i%20
+		cells := float64(sz) * float64(sz)
+		bytes := C * math.Pow(cells, a) * math.Pow(float64(events), b) *
+			math.Exp(c*float64(ml)+d*cfl) * math.Exp(noise*rng.NormFloat64())
+		obs = append(obs, RunObservation{
+			NCellX: sz, NCellY: sz, MaxLevel: ml, CFL: cfl,
+			NProcs: 4, PlotEvents: events, TotalBytes: int64(bytes),
+		})
+	}
+	return obs
+}
+
+func TestFitSizePredictorExactLaw(t *testing.T) {
+	obs := synthObs(60, 0, 1)
+	p, err := FitSizePredictor(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.InSampleMAPE > 0.5 {
+		t.Errorf("in-sample MAPE = %g%% on noiseless data", p.InSampleMAPE)
+	}
+	// With the dimensional part imposed, the fit recovers
+	// [log C, levels coefficient, cfl coefficient] exactly.
+	coef := p.Fit.Coef
+	if math.Abs(coef[0]-math.Log(80)) > 1e-6 {
+		t.Errorf("intercept = %g, want log(80)=%g", coef[0], math.Log(80))
+	}
+	if math.Abs(coef[1]-0.35) > 1e-6 || math.Abs(coef[2]-0.2) > 1e-4 {
+		t.Errorf("level/cfl coefficients = %v", coef)
+	}
+}
+
+func TestFitSizePredictorNoisyGeneralizes(t *testing.T) {
+	train := synthObs(80, 0.05, 2)
+	p, err := FitSizePredictor(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Held-out set from a different seed.
+	test := synthObs(40, 0.05, 3)
+	var worst float64
+	for _, o := range test {
+		pred := p.PredictBytes(o)
+		rel := math.Abs(pred-float64(o.TotalBytes)) / float64(o.TotalBytes)
+		if rel > worst {
+			worst = rel
+		}
+	}
+	if worst > 0.5 {
+		t.Errorf("worst held-out relative error = %g", worst)
+	}
+}
+
+func TestFitSizePredictorExtrapolatesInSize(t *testing.T) {
+	// Train on small meshes, predict a mesh 100x larger under the same
+	// law: the imposed dimensional scaling keeps extrapolation exact —
+	// this is the property that lets laptop runs size Summit targets.
+	train := synthObs(60, 0, 8)
+	p, err := FitSizePredictor(train)
+	if err != nil {
+		t.Fatal(err)
+	}
+	big := RunObservation{NCellX: 8192, NCellY: 8192, MaxLevel: 3, CFL: 0.5, NProcs: 64, PlotEvents: 10}
+	cells := float64(big.NCellX) * float64(big.NCellY)
+	want := 80.0 * cells * 10 * math.Exp(0.35*3+0.2*0.5)
+	got := p.PredictBytes(big)
+	if math.Abs(got-want)/want > 1e-6 {
+		t.Errorf("extrapolated = %g, want %g", got, want)
+	}
+}
+
+func TestFitSizePredictorErrors(t *testing.T) {
+	if _, err := FitSizePredictor(synthObs(3, 0, 4)); err == nil {
+		t.Error("too few observations accepted")
+	}
+	bad := synthObs(10, 0, 5)
+	bad[0].TotalBytes = 0
+	if _, err := FitSizePredictor(bad); err == nil {
+		t.Error("zero-byte observation accepted")
+	}
+	bad = synthObs(10, 0, 6)
+	bad[2].PlotEvents = 0
+	if _, err := FitSizePredictor(bad); err == nil {
+		t.Error("zero-event observation accepted")
+	}
+}
+
+func TestPredictMACSioKernelMatchesTotal(t *testing.T) {
+	obs := synthObs(60, 0, 7)
+	p, err := FitSizePredictor(obs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	target := RunObservation{NCellX: 256, NCellY: 256, MaxLevel: 3, CFL: 0.5, NProcs: 8, PlotEvents: 12}
+	kernel := p.PredictMACSio(target)
+	// Sum of the kernel series over the predicted events equals the
+	// predicted total.
+	var sum float64
+	for k := 0; k < target.PlotEvents; k++ {
+		sum += kernel.Predict(k)
+	}
+	total := p.PredictBytes(target)
+	if math.Abs(sum-total)/total > 1e-9 {
+		t.Errorf("kernel sum %g != predicted total %g", sum, total)
+	}
+	// Growth honors the paper's guidance range.
+	if kernel.Growth < 1.0 || kernel.Growth > 1.02 {
+		t.Errorf("growth = %g outside [1.0, 1.02]", kernel.Growth)
+	}
+}

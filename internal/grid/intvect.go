@@ -1,0 +1,80 @@
+// Package grid provides the integer index-space geometry primitives used by
+// the block-structured AMR machinery: integer vectors, cell-centered boxes,
+// refinement/coarsening arithmetic, and physical domain geometry.
+//
+// The design follows AMReX's Box calculus restricted to two dimensions,
+// which is what the paper's Sedov 2D study exercises.
+package grid
+
+import "fmt"
+
+// IntVect is a point in the 2D integer index space.
+type IntVect struct {
+	X, Y int
+}
+
+// IV is shorthand for constructing an IntVect.
+func IV(x, y int) IntVect { return IntVect{X: x, Y: y} }
+
+// Add returns v + w componentwise.
+func (v IntVect) Add(w IntVect) IntVect { return IntVect{v.X + w.X, v.Y + w.Y} }
+
+// Sub returns v - w componentwise.
+func (v IntVect) Sub(w IntVect) IntVect { return IntVect{v.X - w.X, v.Y - w.Y} }
+
+// Mul returns v scaled by s componentwise.
+func (v IntVect) Mul(s int) IntVect { return IntVect{v.X * s, v.Y * s} }
+
+// Min returns the componentwise minimum of v and w.
+func (v IntVect) Min(w IntVect) IntVect {
+	return IntVect{min(v.X, w.X), min(v.Y, w.Y)}
+}
+
+// Max returns the componentwise maximum of v and w.
+func (v IntVect) Max(w IntVect) IntVect {
+	return IntVect{max(v.X, w.X), max(v.Y, w.Y)}
+}
+
+// AllGE reports whether every component of v is >= the matching component of w.
+func (v IntVect) AllGE(w IntVect) bool { return v.X >= w.X && v.Y >= w.Y }
+
+// AllLE reports whether every component of v is <= the matching component of w.
+func (v IntVect) AllLE(w IntVect) bool { return v.X <= w.X && v.Y <= w.Y }
+
+// Coarsen divides each component by ratio, rounding toward negative infinity,
+// which is the AMReX convention for index-space coarsening.
+func (v IntVect) Coarsen(ratio int) IntVect {
+	return IntVect{floorDiv(v.X, ratio), floorDiv(v.Y, ratio)}
+}
+
+// Refine multiplies each component by ratio.
+func (v IntVect) Refine(ratio int) IntVect { return v.Mul(ratio) }
+
+func (v IntVect) String() string { return fmt.Sprintf("(%d,%d)", v.X, v.Y) }
+
+// floorDiv is integer division rounding toward negative infinity.
+func floorDiv(a, b int) int {
+	q := a / b
+	if (a%b != 0) && ((a < 0) != (b < 0)) {
+		q--
+	}
+	return q
+}
+
+// Morton interleaves the low 31 bits of x and y into a Morton (Z-order)
+// code. It is used by the space-filling-curve distribution mapping to keep
+// spatially adjacent boxes on nearby ranks.
+func Morton(x, y int) uint64 {
+	return spread(uint64(uint32(x))) | spread(uint64(uint32(y)))<<1
+}
+
+// spread inserts a zero bit between each of the low 32 bits of v.
+func spread(v uint64) uint64 {
+	v &= 0xffffffff
+	v = (v | v<<16) & 0x0000ffff0000ffff
+	v = (v | v<<8) & 0x00ff00ff00ff00ff
+	v = (v | v<<4) & 0x0f0f0f0f0f0f0f0f
+	v = (v | v<<2) & 0x3333333333333333
+	v = (v | v<<1) & 0x5555555555555555
+	return v
+}

@@ -1,0 +1,66 @@
+package inputs
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: any valid CastroInputs survives serialization to the
+// Listing-2 file format and back unchanged in every field the paper's
+// study varies.
+func TestCastroInputsRoundTripProperty(t *testing.T) {
+	f := func(cellPow, levRaw, stepRaw, plotRaw, cflRaw, procRaw uint8) bool {
+		c := DefaultCastroInputs()
+		c.NCell = [2]int{32 << (cellPow % 5), 32 << (cellPow % 5)}
+		c.MaxLevel = int(levRaw) % 5
+		c.MaxStep = int(stepRaw)%1000 + 1
+		c.PlotInt = int(plotRaw)%20 + 1
+		c.CFL = 0.3 + float64(cflRaw%31)/100 // 0.30..0.60
+		c.NProcs = 1 << (procRaw % 11)       // 1..1024
+		if c.Validate() != nil {
+			return true // not a valid config; round-trip not required
+		}
+		back, err := FromFile(c.ToFile())
+		if err != nil {
+			return false
+		}
+		return back.NCell == c.NCell &&
+			back.MaxLevel == c.MaxLevel &&
+			back.MaxStep == c.MaxStep &&
+			back.PlotInt == c.PlotInt &&
+			back.CFL == c.CFL &&
+			back.NProcs == c.NProcs &&
+			back.MaxGridSize == c.MaxGridSize &&
+			back.BlockingFactor == c.BlockingFactor
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: parsing is insensitive to arbitrary comment and whitespace
+// decoration around assignments.
+func TestParseDecorationProperty(t *testing.T) {
+	f := func(pad1, pad2 uint8, comment bool) bool {
+		sp := func(n uint8) string {
+			out := ""
+			for i := uint8(0); i < n%6; i++ {
+				out += " "
+			}
+			return out
+		}
+		line := sp(pad1) + "castro.cfl" + sp(pad2) + "=" + sp(pad1) + "0.45"
+		if comment {
+			line += " # trailing"
+		}
+		file, err := ParseString(line + "\n")
+		if err != nil {
+			return false
+		}
+		v, err := file.Float("castro.cfl", 0)
+		return err == nil && v == 0.45
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,165 @@
+package iosim
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+)
+
+// Darshan-style I/O characterization. The paper's background section leans
+// on Carns et al.'s continuous characterization methodology ("Understanding
+// and improving computational science storage access through continuous
+// characterization", MSST 2011); this file computes the equivalent summary
+// from the simulated filesystem's ledger so that proxy and application runs
+// can be compared with the same vocabulary: operation counts, size
+// histograms, per-rank balance, and burst cadence.
+
+// Characterization is a compact I/O profile of a run.
+type Characterization struct {
+	TotalBytes  int64
+	TotalWrites int
+	UniqueFiles int
+	Ranks       int
+
+	// Write-size distribution.
+	MinWrite, MaxWrite int64
+	MeanWrite          float64
+	P50Write, P95Write int64
+
+	// Power-of-two size histogram: bucket k counts writes with
+	// 2^k <= bytes < 2^(k+1); bucket 0 also holds zero-byte writes.
+	SizeHistogram map[int]int
+
+	// Per-rank balance of bytes written (max/mean; 1.0 = perfect).
+	RankImbalance float64
+
+	// Burst cadence.
+	Bursts            int
+	MeanBurstBytes    float64
+	MeanInterArrival  float64 // simulated seconds between burst starts
+	AggregateBandwith float64 // bytes / total busy seconds (max rank clock)
+}
+
+// Characterize computes the profile from ledger records.
+func Characterize(records []WriteRecord) Characterization {
+	var c Characterization
+	if len(records) == 0 {
+		return c
+	}
+	files := map[string]bool{}
+	ranks := map[int]int64{}
+	sizes := make([]int64, 0, len(records))
+	c.SizeHistogram = map[int]int{}
+	c.MinWrite = math.MaxInt64
+	var endMax float64
+	for _, r := range records {
+		c.TotalBytes += r.Bytes
+		c.TotalWrites++
+		files[r.Path] = true
+		ranks[r.Rank] += r.Bytes
+		sizes = append(sizes, r.Bytes)
+		if r.Bytes < c.MinWrite {
+			c.MinWrite = r.Bytes
+		}
+		if r.Bytes > c.MaxWrite {
+			c.MaxWrite = r.Bytes
+		}
+		c.SizeHistogram[sizeBucket(r.Bytes)]++
+		if end := r.Start + r.Duration; end > endMax {
+			endMax = end
+		}
+	}
+	c.UniqueFiles = len(files)
+	c.Ranks = len(ranks)
+	c.MeanWrite = float64(c.TotalBytes) / float64(c.TotalWrites)
+	sort.Slice(sizes, func(i, j int) bool { return sizes[i] < sizes[j] })
+	c.P50Write = sizes[len(sizes)/2]
+	c.P95Write = sizes[(len(sizes)*95)/100]
+
+	loads := make([]float64, 0, len(ranks))
+	var sum, max float64
+	for _, b := range ranks {
+		v := float64(b)
+		loads = append(loads, v)
+		sum += v
+		if v > max {
+			max = v
+		}
+	}
+	if mean := sum / float64(len(loads)); mean > 0 {
+		c.RankImbalance = max / mean
+	}
+
+	bursts := BurstStats(records)
+	c.Bursts = len(bursts)
+	if len(bursts) > 0 {
+		var bb float64
+		for _, b := range bursts {
+			bb += float64(b.Bytes)
+		}
+		c.MeanBurstBytes = bb / float64(len(bursts))
+	}
+	if len(bursts) > 1 {
+		// Inter-arrival from the earliest record start per burst step.
+		starts := map[int]float64{}
+		for _, r := range records {
+			if s, ok := starts[r.Labels.Step]; !ok || r.Start < s {
+				starts[r.Labels.Step] = r.Start
+			}
+		}
+		var ordered []float64
+		for _, b := range bursts {
+			ordered = append(ordered, starts[b.Step])
+		}
+		sort.Float64s(ordered)
+		var gaps float64
+		for i := 1; i < len(ordered); i++ {
+			gaps += ordered[i] - ordered[i-1]
+		}
+		c.MeanInterArrival = gaps / float64(len(ordered)-1)
+	}
+	if endMax > 0 {
+		c.AggregateBandwith = float64(c.TotalBytes) / endMax
+	}
+	return c
+}
+
+// sizeBucket returns floor(log2(bytes)) with zero-size writes in bucket 0.
+func sizeBucket(bytes int64) int {
+	if bytes <= 1 {
+		return 0
+	}
+	b := 0
+	for v := bytes; v > 1; v >>= 1 {
+		b++
+	}
+	return b
+}
+
+// Render formats the profile as a Darshan-like text summary.
+func (c Characterization) Render() string {
+	var sb strings.Builder
+	fmt.Fprintln(&sb, "I/O characterization (Darshan-style)")
+	fmt.Fprintf(&sb, "  total bytes      : %d\n", c.TotalBytes)
+	fmt.Fprintf(&sb, "  write ops        : %d across %d files, %d ranks\n",
+		c.TotalWrites, c.UniqueFiles, c.Ranks)
+	fmt.Fprintf(&sb, "  write size       : min %d  p50 %d  mean %.0f  p95 %d  max %d\n",
+		c.MinWrite, c.P50Write, c.MeanWrite, c.P95Write, c.MaxWrite)
+	fmt.Fprintf(&sb, "  rank imbalance   : %.3f (max/mean)\n", c.RankImbalance)
+	fmt.Fprintf(&sb, "  bursts           : %d, mean %.0f bytes, inter-arrival %.4gs\n",
+		c.Bursts, c.MeanBurstBytes, c.MeanInterArrival)
+	fmt.Fprintf(&sb, "  aggregate bw     : %.4g B/s\n", c.AggregateBandwith)
+	if len(c.SizeHistogram) > 0 {
+		fmt.Fprintln(&sb, "  size histogram (log2 buckets):")
+		buckets := make([]int, 0, len(c.SizeHistogram))
+		for k := range c.SizeHistogram {
+			buckets = append(buckets, k)
+		}
+		sort.Ints(buckets)
+		for _, k := range buckets {
+			fmt.Fprintf(&sb, "    2^%-2d..2^%-2d : %d\n", k, k+1, c.SizeHistogram[k])
+		}
+	}
+	return sb.String()
+}

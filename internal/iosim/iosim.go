@@ -1,0 +1,354 @@
+// Package iosim models the parallel filesystem the paper's runs wrote to
+// (Summit's GPFS-based Alpine). It provides a deterministic performance
+// model — shared aggregate bandwidth with per-writer caps, per-open
+// latency, and seeded lognormal jitter — plus a ledger of every write so
+// the analysis layer can reconstruct per-(step, level, rank) output sizes,
+// which are the quantities the paper measures.
+//
+// Three backends are supported:
+//
+//   - ModelOnly: no bytes touch the real disk; only the ledger and the
+//     simulated clock advance. This is how Summit-scale cases run.
+//   - RealDisk: data is also written to the host filesystem so plotfile
+//     round-trip tests and external tooling can read it.
+//   - Both timing models apply identically; the backend only controls
+//     materialization.
+package iosim
+
+import (
+	"fmt"
+	"hash/fnv"
+	"math"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+)
+
+// Backend selects whether writes are materialized on the host filesystem.
+type Backend int
+
+const (
+	// ModelOnly records writes in the ledger without touching disk.
+	ModelOnly Backend = iota
+	// RealDisk records writes and also writes the bytes to the host FS.
+	RealDisk
+)
+
+// Config parameterizes the filesystem performance model. The defaults
+// (DefaultConfig) are scaled to a Summit-like burst: a large shared
+// aggregate bandwidth, a per-writer stream cap, and a small per-file open
+// latency.
+type Config struct {
+	Backend Backend
+	// AggregateBandwidth is the shared backend bandwidth in bytes/second.
+	AggregateBandwidth float64
+	// PerWriterBandwidth caps a single rank's stream in bytes/second.
+	PerWriterBandwidth float64
+	// OpenLatency is the fixed per-file cost in seconds.
+	OpenLatency float64
+	// JitterSigma is the sigma of the lognormal multiplicative jitter
+	// applied to each write duration. Zero disables jitter.
+	JitterSigma float64
+	// Seed makes the jitter deterministic.
+	Seed int64
+}
+
+// DefaultConfig returns a Summit-flavored model: 2.5 TB/s aggregate (the
+// published Alpine peak), 2 GB/s per-writer stream, 0.5 ms opens, mild
+// jitter.
+func DefaultConfig() Config {
+	return Config{
+		Backend:            ModelOnly,
+		AggregateBandwidth: 2.5e12,
+		PerWriterBandwidth: 2.0e9,
+		OpenLatency:        0.0005,
+		JitterSigma:        0.15,
+		Seed:               1,
+	}
+}
+
+// Labels attach experiment coordinates to a write record so the ledger can
+// be sliced the way the paper slices its data: per timestep, per AMR
+// level, per MPI task.
+type Labels struct {
+	Step  int
+	Level int
+}
+
+// WriteRecord is one entry in the ledger.
+type WriteRecord struct {
+	Rank     int
+	Path     string
+	Bytes    int64
+	Start    float64 // simulated seconds since FileSystem creation
+	Duration float64 // simulated seconds
+	Labels   Labels
+}
+
+// FileSystem is the simulated parallel filesystem. It is safe for
+// concurrent use by many rank goroutines.
+type FileSystem struct {
+	cfg Config
+
+	mu          sync.Mutex
+	records     []WriteRecord
+	rankClock   map[int]float64
+	burstActive int // writers declared for the current burst
+	root        string
+}
+
+// New creates a filesystem with the given model configuration. root is the
+// host directory used when Backend == RealDisk (ignored for ModelOnly, but
+// still recorded for path bookkeeping).
+func New(cfg Config, root string) *FileSystem {
+	return &FileSystem{cfg: cfg, rankClock: map[int]float64{}, root: root}
+}
+
+// Root returns the host root directory.
+func (fs *FileSystem) Root() string { return fs.root }
+
+// Config returns the model configuration.
+func (fs *FileSystem) Config() Config { return fs.cfg }
+
+// BeginBurst declares that n writers participate in the upcoming I/O burst.
+// The contention model divides the aggregate bandwidth among them. The
+// plotfile and MACSio writers call this once per dump with the number of
+// ranks that will write. EndBurst resets to uncontended mode.
+func (fs *FileSystem) BeginBurst(n int) {
+	fs.mu.Lock()
+	fs.burstActive = n
+	fs.mu.Unlock()
+}
+
+// EndBurst marks the end of the current burst.
+func (fs *FileSystem) EndBurst() {
+	fs.mu.Lock()
+	fs.burstActive = 0
+	fs.mu.Unlock()
+}
+
+// effectiveBandwidth returns the per-writer bandwidth under the current
+// contention state.
+func (fs *FileSystem) effectiveBandwidth() float64 {
+	bw := fs.cfg.PerWriterBandwidth
+	if fs.burstActive > 1 {
+		share := fs.cfg.AggregateBandwidth / float64(fs.burstActive)
+		if share < bw {
+			bw = share
+		}
+	}
+	if bw <= 0 {
+		bw = 1 // avoid division by zero in degenerate configs
+	}
+	return bw
+}
+
+// jitter returns the deterministic lognormal factor for (rank, path).
+func (fs *FileSystem) jitter(rank int, path string) float64 {
+	if fs.cfg.JitterSigma == 0 {
+		return 1
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%d|%s", fs.cfg.Seed, rank, path)
+	u := h.Sum64()
+	// Two uniforms from the hash bits -> one standard normal (Box-Muller).
+	u1 := (float64(u>>11) + 0.5) / float64(1<<53)
+	h.Write([]byte{0xA5})
+	u2 := (float64(h.Sum64()>>11) + 0.5) / float64(1<<53)
+	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+	return math.Exp(fs.cfg.JitterSigma * z)
+}
+
+// Write records (and, for RealDisk, materializes) a file written by rank.
+// It returns the simulated duration of the write.
+func (fs *FileSystem) Write(rank int, path string, data []byte, labels Labels) (float64, error) {
+	return fs.write(rank, path, int64(len(data)), data, labels)
+}
+
+// WriteSize records a write of nbytes without materializing data. The
+// surrogate (Summit-scale) pipeline uses this so that 17-billion-cell
+// meshes never allocate field memory.
+func (fs *FileSystem) WriteSize(rank int, path string, nbytes int64, labels Labels) (float64, error) {
+	return fs.write(rank, path, nbytes, nil, labels)
+}
+
+func (fs *FileSystem) write(rank int, path string, nbytes int64, data []byte, labels Labels) (float64, error) {
+	if nbytes < 0 {
+		return 0, fmt.Errorf("iosim: negative write size %d for %s", nbytes, path)
+	}
+	if fs.cfg.Backend == RealDisk && data != nil {
+		full := filepath.Join(fs.root, path)
+		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
+			return 0, fmt.Errorf("iosim: mkdir for %s: %w", path, err)
+		}
+		if err := os.WriteFile(full, data, 0o644); err != nil {
+			return 0, fmt.Errorf("iosim: write %s: %w", path, err)
+		}
+	}
+
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	bw := fs.effectiveBandwidth()
+	dur := (fs.cfg.OpenLatency + float64(nbytes)/bw) * fs.jitter(rank, path)
+	start := fs.rankClock[rank]
+	fs.rankClock[rank] = start + dur
+	fs.records = append(fs.records, WriteRecord{
+		Rank: rank, Path: path, Bytes: nbytes,
+		Start: start, Duration: dur, Labels: labels,
+	})
+	return dur, nil
+}
+
+// AppendDirRecord notes a directory creation (metadata op); it costs one
+// open latency on rank's clock and adds a zero-byte record so file-count
+// audits can include directories if desired.
+func (fs *FileSystem) Mkdir(rank int, path string) error {
+	if fs.cfg.Backend == RealDisk {
+		if err := os.MkdirAll(filepath.Join(fs.root, path), 0o755); err != nil {
+			return fmt.Errorf("iosim: mkdir %s: %w", path, err)
+		}
+	}
+	fs.mu.Lock()
+	fs.rankClock[rank] += fs.cfg.OpenLatency
+	fs.mu.Unlock()
+	return nil
+}
+
+// AdvanceClock adds dt simulated seconds to rank's clock (used to model
+// compute time between bursts, e.g. MACSio's --compute_time).
+func (fs *FileSystem) AdvanceClock(rank int, dt float64) {
+	fs.mu.Lock()
+	fs.rankClock[rank] += dt
+	fs.mu.Unlock()
+}
+
+// Clock returns rank's current simulated time.
+func (fs *FileSystem) Clock(rank int) float64 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	return fs.rankClock[rank]
+}
+
+// Ledger returns a copy of all write records in insertion order.
+func (fs *FileSystem) Ledger() []WriteRecord {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	out := make([]WriteRecord, len(fs.records))
+	copy(out, fs.records)
+	return out
+}
+
+// Reset clears the ledger and all rank clocks.
+func (fs *FileSystem) Reset() {
+	fs.mu.Lock()
+	fs.records = nil
+	fs.rankClock = map[int]float64{}
+	fs.burstActive = 0
+	fs.mu.Unlock()
+}
+
+// TotalBytes sums all recorded writes.
+func (fs *FileSystem) TotalBytes() int64 {
+	fs.mu.Lock()
+	defer fs.mu.Unlock()
+	var total int64
+	for _, r := range fs.records {
+		total += r.Bytes
+	}
+	return total
+}
+
+// BytesBy aggregates ledger bytes by an arbitrary key function.
+func BytesBy(records []WriteRecord, key func(WriteRecord) int) map[int]int64 {
+	out := map[int]int64{}
+	for _, r := range records {
+		out[key(r)] += r.Bytes
+	}
+	return out
+}
+
+// BytesByStep aggregates bytes per Labels.Step.
+func BytesByStep(records []WriteRecord) map[int]int64 {
+	return BytesBy(records, func(r WriteRecord) int { return r.Labels.Step })
+}
+
+// BytesByLevel aggregates bytes per Labels.Level.
+func BytesByLevel(records []WriteRecord) map[int]int64 {
+	return BytesBy(records, func(r WriteRecord) int { return r.Labels.Level })
+}
+
+// BytesByRank aggregates bytes per writing rank.
+func BytesByRank(records []WriteRecord) map[int]int64 {
+	return BytesBy(records, func(r WriteRecord) int { return r.Rank })
+}
+
+// SortedKeys returns the sorted keys of an aggregation map.
+func SortedKeys(m map[int]int64) []int {
+	keys := make([]int, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Ints(keys)
+	return keys
+}
+
+// BurstStat summarizes one I/O burst (one dump step).
+type BurstStat struct {
+	Step         int
+	Bytes        int64
+	Files        int
+	WallSeconds  float64 // max over ranks of per-rank time spent in this step
+	MeanSeconds  float64 // mean over participating ranks
+	EffectiveBW  float64 // Bytes / WallSeconds
+	Participants int
+}
+
+// BurstStats computes per-step burst summaries from the ledger, modeling
+// the bulk-synchronous "compute then burst" pattern the paper describes.
+func BurstStats(records []WriteRecord) []BurstStat {
+	type acc struct {
+		bytes   int64
+		files   int
+		perRank map[int]float64
+	}
+	bySteps := map[int]*acc{}
+	for _, r := range records {
+		a := bySteps[r.Labels.Step]
+		if a == nil {
+			a = &acc{perRank: map[int]float64{}}
+			bySteps[r.Labels.Step] = a
+		}
+		a.bytes += r.Bytes
+		a.files++
+		a.perRank[r.Rank] += r.Duration
+	}
+	steps := make([]int, 0, len(bySteps))
+	for s := range bySteps {
+		steps = append(steps, s)
+	}
+	sort.Ints(steps)
+	out := make([]BurstStat, 0, len(steps))
+	for _, s := range steps {
+		a := bySteps[s]
+		var wall, sum float64
+		for _, d := range a.perRank {
+			if d > wall {
+				wall = d
+			}
+			sum += d
+		}
+		st := BurstStat{
+			Step: s, Bytes: a.bytes, Files: a.files,
+			WallSeconds: wall, Participants: len(a.perRank),
+		}
+		if len(a.perRank) > 0 {
+			st.MeanSeconds = sum / float64(len(a.perRank))
+		}
+		if wall > 0 {
+			st.EffectiveBW = float64(a.bytes) / wall
+		}
+		out = append(out, st)
+	}
+	return out
+}

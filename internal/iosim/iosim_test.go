@@ -1,0 +1,263 @@
+package iosim
+
+import (
+	"math"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+)
+
+func modelFS() *FileSystem {
+	cfg := DefaultConfig()
+	cfg.JitterSigma = 0 // deterministic timing for exact assertions
+	return New(cfg, "")
+}
+
+func TestWriteRecordsLedger(t *testing.T) {
+	fs := modelFS()
+	if _, err := fs.Write(3, "a/b.dat", make([]byte, 1000), Labels{Step: 2, Level: 1}); err != nil {
+		t.Fatal(err)
+	}
+	rec := fs.Ledger()
+	if len(rec) != 1 {
+		t.Fatalf("ledger len = %d", len(rec))
+	}
+	r := rec[0]
+	if r.Rank != 3 || r.Path != "a/b.dat" || r.Bytes != 1000 || r.Labels.Step != 2 || r.Labels.Level != 1 {
+		t.Errorf("record = %+v", r)
+	}
+	if r.Duration <= 0 {
+		t.Error("duration must be positive")
+	}
+	if fs.TotalBytes() != 1000 {
+		t.Errorf("TotalBytes = %d", fs.TotalBytes())
+	}
+}
+
+func TestWriteSizeModelOnly(t *testing.T) {
+	fs := modelFS()
+	const big = int64(17e9) // 17 GB without allocating anything
+	if _, err := fs.WriteSize(0, "huge.bin", big, Labels{}); err != nil {
+		t.Fatal(err)
+	}
+	if fs.TotalBytes() != big {
+		t.Errorf("TotalBytes = %d", fs.TotalBytes())
+	}
+}
+
+func TestNegativeSizeRejected(t *testing.T) {
+	fs := modelFS()
+	if _, err := fs.WriteSize(0, "x", -1, Labels{}); err == nil {
+		t.Fatal("negative size accepted")
+	}
+}
+
+func TestDurationModel(t *testing.T) {
+	cfg := Config{
+		Backend:            ModelOnly,
+		AggregateBandwidth: 1e9,
+		PerWriterBandwidth: 1e8,
+		OpenLatency:        0.001,
+		JitterSigma:        0,
+	}
+	fs := New(cfg, "")
+	d, err := fs.Write(0, "f", make([]byte, 1e6), Labels{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := 0.001 + 1e6/1e8
+	if math.Abs(d-want) > 1e-12 {
+		t.Errorf("duration = %g, want %g", d, want)
+	}
+}
+
+func TestContentionSharesAggregate(t *testing.T) {
+	cfg := Config{
+		AggregateBandwidth: 1e9,
+		PerWriterBandwidth: 1e9, // per-writer cap above the fair share
+		OpenLatency:        0,
+		JitterSigma:        0,
+	}
+	fs := New(cfg, "")
+	fs.BeginBurst(10) // fair share = 1e8
+	d, _ := fs.Write(0, "f", make([]byte, 1e6), Labels{})
+	if want := 1e6 / 1e8; math.Abs(d-want) > 1e-12 {
+		t.Errorf("contended duration = %g, want %g", d, want)
+	}
+	fs.EndBurst()
+	d, _ = fs.Write(0, "g", make([]byte, 1e6), Labels{})
+	if want := 1e6 / 1e9; math.Abs(d-want) > 1e-12 {
+		t.Errorf("uncontended duration = %g, want %g", d, want)
+	}
+}
+
+func TestJitterDeterministic(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.JitterSigma = 0.3
+	a := New(cfg, "")
+	b := New(cfg, "")
+	da, _ := a.Write(1, "p", make([]byte, 1e6), Labels{})
+	db, _ := b.Write(1, "p", make([]byte, 1e6), Labels{})
+	if da != db {
+		t.Errorf("same seed gave different durations: %g vs %g", da, db)
+	}
+	cfg.Seed = 2
+	c := New(cfg, "")
+	dc, _ := c.Write(1, "p", make([]byte, 1e6), Labels{})
+	if dc == da {
+		t.Error("different seed gave identical duration (suspicious)")
+	}
+}
+
+func TestJitterMeanNearOne(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.JitterSigma = 0.15
+	fs := New(cfg, "")
+	var sum float64
+	const n = 2000
+	for i := 0; i < n; i++ {
+		sum += fs.jitter(i, "x")
+	}
+	mean := sum / n
+	// lognormal(0, 0.15) has mean exp(0.15^2/2) = 1.0113
+	if mean < 0.95 || mean > 1.1 {
+		t.Errorf("jitter mean = %g, expected near 1", mean)
+	}
+}
+
+func TestRealDiskBackend(t *testing.T) {
+	dir := t.TempDir()
+	cfg := DefaultConfig()
+	cfg.Backend = RealDisk
+	fs := New(cfg, dir)
+	payload := []byte("plotfile contents")
+	if _, err := fs.Write(0, "plt00000/Level_0/Cell_D_00000", payload, Labels{}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(filepath.Join(dir, "plt00000/Level_0/Cell_D_00000"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != string(payload) {
+		t.Errorf("file contents = %q", got)
+	}
+}
+
+func TestMkdirRealDisk(t *testing.T) {
+	dir := t.TempDir()
+	cfg := DefaultConfig()
+	cfg.Backend = RealDisk
+	fs := New(cfg, dir)
+	if err := fs.Mkdir(0, "plt00000/Level_1"); err != nil {
+		t.Fatal(err)
+	}
+	st, err := os.Stat(filepath.Join(dir, "plt00000/Level_1"))
+	if err != nil || !st.IsDir() {
+		t.Fatalf("dir not created: %v", err)
+	}
+}
+
+func TestRankClocksIndependent(t *testing.T) {
+	fs := modelFS()
+	fs.Write(0, "a", make([]byte, 1e6), Labels{})
+	fs.Write(0, "b", make([]byte, 1e6), Labels{})
+	fs.Write(1, "c", make([]byte, 1e6), Labels{})
+	rec := fs.Ledger()
+	// Rank 0's second write starts after its first; rank 1 starts at 0.
+	if rec[1].Start <= rec[0].Start {
+		t.Error("rank 0 writes must be serial")
+	}
+	if rec[2].Start != 0 {
+		t.Errorf("rank 1 first write starts at %g", rec[2].Start)
+	}
+}
+
+func TestAdvanceClock(t *testing.T) {
+	fs := modelFS()
+	fs.AdvanceClock(2, 1.5)
+	if got := fs.Clock(2); got != 1.5 {
+		t.Errorf("clock = %g", got)
+	}
+	fs.Write(2, "x", make([]byte, 10), Labels{})
+	rec := fs.Ledger()
+	if rec[0].Start != 1.5 {
+		t.Errorf("write start = %g, want 1.5", rec[0].Start)
+	}
+}
+
+func TestAggregations(t *testing.T) {
+	fs := modelFS()
+	fs.WriteSize(0, "a", 100, Labels{Step: 0, Level: 0})
+	fs.WriteSize(1, "b", 200, Labels{Step: 0, Level: 1})
+	fs.WriteSize(0, "c", 400, Labels{Step: 1, Level: 0})
+	rec := fs.Ledger()
+	byStep := BytesByStep(rec)
+	if byStep[0] != 300 || byStep[1] != 400 {
+		t.Errorf("byStep = %v", byStep)
+	}
+	byLevel := BytesByLevel(rec)
+	if byLevel[0] != 500 || byLevel[1] != 200 {
+		t.Errorf("byLevel = %v", byLevel)
+	}
+	byRank := BytesByRank(rec)
+	if byRank[0] != 500 || byRank[1] != 200 {
+		t.Errorf("byRank = %v", byRank)
+	}
+	if keys := SortedKeys(byStep); len(keys) != 2 || keys[0] != 0 || keys[1] != 1 {
+		t.Errorf("SortedKeys = %v", keys)
+	}
+}
+
+func TestBurstStats(t *testing.T) {
+	fs := modelFS()
+	fs.WriteSize(0, "a", 1000, Labels{Step: 0})
+	fs.WriteSize(1, "b", 3000, Labels{Step: 0})
+	fs.WriteSize(0, "c", 500, Labels{Step: 5})
+	stats := BurstStats(fs.Ledger())
+	if len(stats) != 2 {
+		t.Fatalf("stats len = %d", len(stats))
+	}
+	if stats[0].Step != 0 || stats[0].Bytes != 4000 || stats[0].Files != 2 || stats[0].Participants != 2 {
+		t.Errorf("burst 0 = %+v", stats[0])
+	}
+	if stats[0].WallSeconds < stats[0].MeanSeconds {
+		t.Error("wall must be >= mean")
+	}
+	if stats[1].Step != 5 || stats[1].Bytes != 500 {
+		t.Errorf("burst 1 = %+v", stats[1])
+	}
+	if stats[0].EffectiveBW <= 0 {
+		t.Error("effective bandwidth must be positive")
+	}
+}
+
+func TestReset(t *testing.T) {
+	fs := modelFS()
+	fs.WriteSize(0, "a", 10, Labels{})
+	fs.Reset()
+	if len(fs.Ledger()) != 0 || fs.TotalBytes() != 0 || fs.Clock(0) != 0 {
+		t.Error("reset incomplete")
+	}
+}
+
+func TestConcurrentWritesSafe(t *testing.T) {
+	fs := modelFS()
+	var wg sync.WaitGroup
+	for r := 0; r < 16; r++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			for i := 0; i < 50; i++ {
+				fs.WriteSize(rank, "f", 10, Labels{Step: i})
+			}
+		}(r)
+	}
+	wg.Wait()
+	if got := len(fs.Ledger()); got != 16*50 {
+		t.Errorf("ledger len = %d", got)
+	}
+	if fs.TotalBytes() != 16*50*10 {
+		t.Errorf("TotalBytes = %d", fs.TotalBytes())
+	}
+}

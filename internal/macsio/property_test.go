@@ -1,0 +1,75 @@
+package macsio
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+// Property: for every interface, the analytic size function matches the
+// encoder byte-for-byte over randomized value counts, variable counts,
+// rank/step ids and metadata sizes. This is the invariant that keeps
+// Summit-scale size-only runs honest.
+func TestEncoderSizeParityProperty(t *testing.T) {
+	f := func(nvalsRaw uint16, varsRaw, rankRaw, stepRaw uint8, metaRaw uint16, ifaceRaw uint8) bool {
+		nvals := int(nvalsRaw)%5000 + 1
+		vars := int(varsRaw)%8 + 1
+		rank := int(rankRaw)
+		step := int(stepRaw)
+		meta := int64(metaRaw) % 4096
+		ifaces := []Interface{IfaceMiftmpl, IfaceJSON, IfaceHDF5, IfaceSilo}
+		iface := ifaces[int(ifaceRaw)%len(ifaces)]
+		data := EncodeDataFile(iface, rank, step, nvals, vars, meta)
+		return int64(len(data)) == DataFileSize(iface, nvals, vars, meta)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: nominal bytes are monotone in the dump step whenever
+// dataset_growth > 1, and constant when growth == 1.
+func TestNominalBytesMonotoneProperty(t *testing.T) {
+	f := func(partRaw uint16, growthRaw uint8, stepRaw uint8) bool {
+		cfg := DefaultConfig()
+		cfg.PartSize = int64(partRaw)%100000 + 8
+		cfg.DatasetGrowth = 1.0 + float64(growthRaw%50)/1000 // 1.000..1.049
+		step := int(stepRaw) % 100
+		a := cfg.NominalBytes(0, step)
+		b := cfg.NominalBytes(0, step+1)
+		if cfg.DatasetGrowth == 1.0 {
+			return a == b
+		}
+		return b >= a
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: every parts assignment sums to round(avg*nprocs) and is
+// monotone non-increasing in rank.
+func TestPartsForRankProperty(t *testing.T) {
+	f := func(nprocsRaw uint8, avgTimes4 uint8) bool {
+		cfg := DefaultConfig()
+		cfg.NProcs = int(nprocsRaw)%64 + 1
+		cfg.AvgNumParts = float64(avgTimes4%12)/4 + 0.25 // 0.25..3.0
+		total := 0
+		prev := 1 << 30
+		for r := 0; r < cfg.NProcs; r++ {
+			p := cfg.partsForRank(r)
+			if p > prev {
+				return false
+			}
+			prev = p
+			total += p
+		}
+		want := int(cfg.AvgNumParts*float64(cfg.NProcs) + 0.5)
+		if want < 1 {
+			want = 1
+		}
+		return total == want
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}

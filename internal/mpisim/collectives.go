@@ -1,0 +1,153 @@
+package mpisim
+
+// Collectives implemented on top of the point-to-point layer. All of them
+// are synchronizing in the MPI sense: every rank in the world must call the
+// same collective in the same order.
+
+// Barrier blocks until every rank has entered it. It is implemented as a
+// gather-to-root followed by a broadcast, which is O(P) messages — fine for
+// the simulated scales (P <= 4096).
+func (c *Comm) Barrier() {
+	if c.world.size == 1 {
+		return
+	}
+	if c.rank == 0 {
+		for r := 1; r < c.world.size; r++ {
+			c.Recv(r, tagBarrier)
+		}
+		for r := 1; r < c.world.size; r++ {
+			c.Send(r, tagBarrier, nil)
+		}
+	} else {
+		c.Send(0, tagBarrier, nil)
+		c.Recv(0, tagBarrier)
+	}
+}
+
+// Bcast distributes root's value to every rank and returns it.
+func (c *Comm) Bcast(root int, data interface{}) interface{} {
+	if c.world.size == 1 {
+		return data
+	}
+	if c.rank == root {
+		for r := 0; r < c.world.size; r++ {
+			if r != root {
+				c.Send(r, tagBcast, data)
+			}
+		}
+		return data
+	}
+	got, _ := c.Recv(root, tagBcast)
+	return got
+}
+
+// ReduceOp is a binary reduction operator over float64.
+type ReduceOp func(a, b float64) float64
+
+// Reduction operators for the float64 collectives.
+var (
+	OpSum ReduceOp = func(a, b float64) float64 { return a + b }
+	OpMin ReduceOp = func(a, b float64) float64 {
+		if a < b {
+			return a
+		}
+		return b
+	}
+	OpMax ReduceOp = func(a, b float64) float64 {
+		if a > b {
+			return a
+		}
+		return b
+	}
+)
+
+// Reduce combines one float64 per rank at root using op; non-root ranks
+// receive the zero value.
+func (c *Comm) Reduce(root int, v float64, op ReduceOp) float64 {
+	if c.world.size == 1 {
+		return v
+	}
+	if c.rank == root {
+		acc := v
+		for r := 0; r < c.world.size; r++ {
+			if r == root {
+				continue
+			}
+			got, _ := c.Recv(r, tagReduce)
+			acc = op(acc, got.(float64))
+		}
+		return acc
+	}
+	c.Send(root, tagReduce, v)
+	return 0
+}
+
+// Allreduce combines one float64 per rank with op and returns the result on
+// every rank.
+func (c *Comm) Allreduce(v float64, op ReduceOp) float64 {
+	acc := c.Reduce(0, v, op)
+	return c.Bcast(0, acc).(float64)
+}
+
+// AllreduceInt64 combines one int64 per rank by summation on every rank.
+func (c *Comm) AllreduceInt64Sum(v int64) int64 {
+	acc := c.Allreduce(float64(v), OpSum)
+	return int64(acc + 0.5*sign(acc))
+}
+
+func sign(v float64) float64 {
+	if v < 0 {
+		return -1
+	}
+	return 1
+}
+
+// Gather collects one payload per rank at root, indexed by rank. Non-root
+// ranks receive nil.
+func (c *Comm) Gather(root int, data interface{}) []interface{} {
+	if c.world.size == 1 {
+		return []interface{}{data}
+	}
+	if c.rank == root {
+		out := make([]interface{}, c.world.size)
+		out[root] = data
+		for r := 0; r < c.world.size; r++ {
+			if r == root {
+				continue
+			}
+			got, _ := c.Recv(r, tagGather)
+			out[r] = got
+		}
+		return out
+	}
+	c.Send(root, tagGather, data)
+	return nil
+}
+
+// Allgather collects one payload per rank on every rank.
+func (c *Comm) Allgather(data interface{}) []interface{} {
+	all := c.Gather(0, data)
+	got := c.Bcast(0, all)
+	return got.([]interface{})
+}
+
+// ExclusiveScanInt64 returns the exclusive prefix sum of v across ranks:
+// rank r receives sum of values on ranks < r. Used to assign disjoint
+// global offsets (e.g. SIF single-shared-file layouts).
+func (c *Comm) ExclusiveScanInt64(v int64) int64 {
+	if c.world.size == 1 {
+		return 0
+	}
+	all := c.Gather(0, v)
+	var prefixes []int64
+	if c.rank == 0 {
+		prefixes = make([]int64, c.world.size)
+		var acc int64
+		for r := 0; r < c.world.size; r++ {
+			prefixes[r] = acc
+			acc += all[r].(int64)
+		}
+	}
+	got := c.Bcast(0, prefixes)
+	return got.([]int64)[c.rank]
+}

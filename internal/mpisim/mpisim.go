@@ -1,0 +1,213 @@
+// Package mpisim is an in-process message-passing runtime that stands in
+// for MPI on Summit in the paper's experiments. Each simulated rank runs as
+// a goroutine executing the same SPMD function; ranks communicate through
+// tagged point-to-point messages and the collectives the AMR driver and the
+// plotfile/MACSio writers need (barrier, broadcast, reduce, gather).
+//
+// Semantics follow MPI's eager protocol: Send never blocks (messages are
+// buffered at the destination mailbox), Recv blocks until a message with a
+// matching (source, tag) pair arrives. Matching messages from one source
+// with one tag are delivered in send order.
+package mpisim
+
+import (
+	"fmt"
+	"sync"
+)
+
+// AnySource can be passed to Recv to match a message from any rank.
+// Library code in this repository always names its source so that runs
+// remain deterministic; AnySource exists for tests and experimentation.
+const AnySource = -1
+
+// Message tags used by the built-in collectives. User tags must be >= 0.
+const (
+	tagBarrier = -100 - iota
+	tagBcast
+	tagReduce
+	tagGather
+	tagScan
+)
+
+// message is a single point-to-point payload.
+type message struct {
+	src, tag int
+	data     interface{}
+}
+
+// mailbox is the per-rank receive queue with (src,tag) matching.
+type mailbox struct {
+	mu    sync.Mutex
+	cond  *sync.Cond
+	queue []message
+}
+
+func newMailbox() *mailbox {
+	m := &mailbox{}
+	m.cond = sync.NewCond(&m.mu)
+	return m
+}
+
+func (m *mailbox) put(msg message) {
+	m.mu.Lock()
+	m.queue = append(m.queue, msg)
+	m.mu.Unlock()
+	m.cond.Broadcast()
+}
+
+func (m *mailbox) get(src, tag int) message {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	for {
+		for i, msg := range m.queue {
+			if (src == AnySource || msg.src == src) && msg.tag == tag {
+				m.queue = append(m.queue[:i], m.queue[i+1:]...)
+				return msg
+			}
+		}
+		m.cond.Wait()
+	}
+}
+
+// World owns the mailboxes for a fixed number of ranks.
+type World struct {
+	size      int
+	mailboxes []*mailbox
+
+	statsMu sync.Mutex
+	stats   TrafficStats
+}
+
+// TrafficStats aggregates message-passing volume across a run; the I/O
+// study uses it to confirm communication is not the bottleneck being
+// modeled.
+type TrafficStats struct {
+	Messages int64
+	Bytes    int64
+}
+
+// NewWorld creates a communicator world with n ranks.
+func NewWorld(n int) *World {
+	if n <= 0 {
+		panic(fmt.Sprintf("mpisim: world size %d must be positive", n))
+	}
+	w := &World{size: n, mailboxes: make([]*mailbox, n)}
+	for i := range w.mailboxes {
+		w.mailboxes[i] = newMailbox()
+	}
+	return w
+}
+
+// Size returns the number of ranks in the world.
+func (w *World) Size() int { return w.size }
+
+// Stats returns a snapshot of cumulative traffic statistics.
+func (w *World) Stats() TrafficStats {
+	w.statsMu.Lock()
+	defer w.statsMu.Unlock()
+	return w.stats
+}
+
+func (w *World) record(bytes int) {
+	w.statsMu.Lock()
+	w.stats.Messages++
+	w.stats.Bytes += int64(bytes)
+	w.statsMu.Unlock()
+}
+
+// Comm is a rank's handle onto the world.
+type Comm struct {
+	world *World
+	rank  int
+}
+
+// Rank returns this rank's id in [0, Size).
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the world size.
+func (c *Comm) Size() int { return c.world.size }
+
+// World returns the underlying world (for stats inspection).
+func (c *Comm) World() *World { return c.world }
+
+// Run executes fn as an SPMD program on n ranks and blocks until every rank
+// returns. A panic on any rank is captured and returned as an error after
+// all surviving ranks finish or the panicking rank's absence deadlocks them
+// — callers should treat an error as fatal for the whole run.
+func Run(n int, fn func(c *Comm) error) error {
+	w := NewWorld(n)
+	return w.Run(fn)
+}
+
+// Run executes fn on every rank of an existing world.
+func (w *World) Run(fn func(c *Comm) error) error {
+	errs := make([]error, w.size)
+	var wg sync.WaitGroup
+	wg.Add(w.size)
+	for r := 0; r < w.size; r++ {
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if rec := recover(); rec != nil {
+					errs[rank] = fmt.Errorf("mpisim: rank %d panicked: %v", rank, rec)
+				}
+			}()
+			errs[rank] = fn(&Comm{world: w, rank: rank})
+		}(r)
+	}
+	wg.Wait()
+	for r, err := range errs {
+		if err != nil {
+			return fmt.Errorf("rank %d: %w", r, err)
+		}
+	}
+	return nil
+}
+
+// Send delivers data to rank dst with the given tag. It never blocks.
+func (c *Comm) Send(dst, tag int, data interface{}) {
+	if dst < 0 || dst >= c.world.size {
+		panic(fmt.Sprintf("mpisim: send to invalid rank %d (size %d)", dst, c.world.size))
+	}
+	c.world.record(payloadBytes(data))
+	c.world.mailboxes[dst].put(message{src: c.rank, tag: tag, data: data})
+}
+
+// Recv blocks until a message with matching source and tag arrives and
+// returns its payload and actual source.
+func (c *Comm) Recv(src, tag int) (data interface{}, from int) {
+	msg := c.world.mailboxes[c.rank].get(src, tag)
+	return msg.data, msg.src
+}
+
+// Sizer lets custom payload types report their wire size for traffic
+// statistics.
+type Sizer interface {
+	WireBytes() int
+}
+
+// payloadBytes estimates the wire size of a payload for traffic stats.
+func payloadBytes(data interface{}) int {
+	switch v := data.(type) {
+	case nil:
+		return 0
+	case Sizer:
+		return v.WireBytes()
+	case []byte:
+		return len(v)
+	case []float64:
+		return 8 * len(v)
+	case []int64:
+		return 8 * len(v)
+	case []int:
+		return 8 * len(v)
+	case float64:
+		return 8
+	case int64, int:
+		return 8
+	case string:
+		return len(v)
+	default:
+		return 8
+	}
+}

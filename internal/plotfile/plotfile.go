@@ -1,0 +1,310 @@
+// Package plotfile implements the AMReX plotfile output format the paper's
+// Fig. 2 diagrams: a per-step directory containing a top-level Header and
+// job_info, and one Level_N subdirectory per mesh level holding an ASCII
+// Cell_H metadata file plus binary Cell_D_XXXXX data files written in the
+// N-to-N pattern — one file per MPI task per level, and only when the task
+// owns data at that level.
+//
+// The writer runs as an SPMD program under mpisim (rank 0 writes the
+// metadata, every rank writes its own Cell_D file) and routes all bytes
+// through the iosim filesystem model, labeling each record with
+// (step, level) so the analysis layer can reconstruct the paper's Eq. (2)
+// hierarchy of output sizes.
+//
+// A size-only path (WriteSizes) produces byte-for-byte identical ledger
+// entries without materializing field data; the Summit-scale surrogate
+// pipeline uses it.
+package plotfile
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+
+	"amrproxyio/internal/amr"
+	"amrproxyio/internal/grid"
+	"amrproxyio/internal/iosim"
+	"amrproxyio/internal/mpisim"
+)
+
+// FormatVersion is the first line of every Header.
+const FormatVersion = "AMReX-PlotfileProxy-V1.0"
+
+// LevelSpec describes one mesh level of a plot dump.
+type LevelSpec struct {
+	Geom     grid.Geom
+	BA       amr.BoxArray
+	DM       amr.DistributionMapping
+	RefRatio int // ratio to the next finer level (unused on the finest)
+	// State supplies field data; nil selects size-only accounting.
+	State *amr.MultiFab
+}
+
+// Spec is a complete plot dump description.
+type Spec struct {
+	Root     string // plotfile directory name, e.g. "plt00020"
+	VarNames []string
+	Time     float64
+	Step     int
+	Levels   []LevelSpec
+	NProcs   int
+}
+
+// NComp returns the number of plotted components.
+func (s Spec) NComp() int { return len(s.VarNames) }
+
+// OutputRecord summarizes bytes written for one (step, level, rank) cell
+// of the paper's Eq. (2) hierarchy.
+type OutputRecord struct {
+	Step  int   `json:"step"`
+	Level int   `json:"level"`
+	Rank  int   `json:"rank"`
+	Bytes int64 `json:"bytes"`
+}
+
+// Write emits the full plotfile through fs, returning the per-(level,rank)
+// records. If every LevelSpec has non-nil State the actual FAB data is
+// serialized; otherwise sizes are modeled exactly.
+func Write(fs *iosim.FileSystem, spec Spec) ([]OutputRecord, error) {
+	if spec.NProcs < 1 {
+		return nil, fmt.Errorf("plotfile: nprocs = %d", spec.NProcs)
+	}
+	if len(spec.Levels) == 0 {
+		return nil, fmt.Errorf("plotfile: no levels")
+	}
+	type rankRec struct {
+		level int
+		rank  int
+		bytes int64
+	}
+	results := make([][]rankRec, spec.NProcs)
+	labels := func(level int) iosim.Labels {
+		return iosim.Labels{Step: spec.Step, Level: level}
+	}
+
+	fs.BeginBurst(spec.NProcs)
+	defer fs.EndBurst()
+
+	err := mpisim.Run(spec.NProcs, func(c *mpisim.Comm) error {
+		rank := c.Rank()
+		if rank == 0 {
+			if err := fs.Mkdir(0, spec.Root); err != nil {
+				return err
+			}
+			hdr := EncodeHeader(spec)
+			if _, err := fs.Write(0, spec.Root+"/Header", []byte(hdr), labels(0)); err != nil {
+				return err
+			}
+			ji := encodeJobInfo(spec)
+			if _, err := fs.Write(0, spec.Root+"/job_info", []byte(ji), labels(0)); err != nil {
+				return err
+			}
+			for l := range spec.Levels {
+				if err := fs.Mkdir(0, fmt.Sprintf("%s/Level_%d", spec.Root, l)); err != nil {
+					return err
+				}
+				ch := EncodeCellH(spec, l)
+				path := fmt.Sprintf("%s/Level_%d/Cell_H", spec.Root, l)
+				if _, err := fs.Write(0, path, []byte(ch), labels(l)); err != nil {
+					return err
+				}
+			}
+		}
+		// All ranks wait for the directory structure before writing data,
+		// the same barrier AMReX's plotfile path performs.
+		c.Barrier()
+
+		for l, lev := range spec.Levels {
+			owned := lev.DM.RankBoxes(rank)
+			if len(owned) == 0 {
+				continue // the paper's "file only when the task has data"
+			}
+			path := fmt.Sprintf("%s/Level_%d/Cell_D_%05d", spec.Root, l, rank)
+			var nbytes int64
+			if lev.State != nil {
+				data := encodeCellD(lev, owned, spec.NComp())
+				if _, err := fs.Write(rank, path, data, labels(l)); err != nil {
+					return err
+				}
+				nbytes = int64(len(data))
+			} else {
+				nbytes = CellDBytes(lev.BA, owned, spec.NComp())
+				if _, err := fs.WriteSize(rank, path, nbytes, labels(l)); err != nil {
+					return err
+				}
+			}
+			results[rank] = append(results[rank], rankRec{level: l, rank: rank, bytes: nbytes})
+		}
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var out []OutputRecord
+	for _, rr := range results {
+		for _, r := range rr {
+			out = append(out, OutputRecord{Step: spec.Step, Level: r.level, Rank: r.rank, Bytes: r.bytes})
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Level != out[j].Level {
+			return out[i].Level < out[j].Level
+		}
+		return out[i].Rank < out[j].Rank
+	})
+	return out, nil
+}
+
+// EncodeHeader renders the top-level Header file.
+func EncodeHeader(spec Spec) string {
+	var sb strings.Builder
+	fmt.Fprintln(&sb, FormatVersion)
+	fmt.Fprintln(&sb, spec.NComp())
+	for _, v := range spec.VarNames {
+		fmt.Fprintln(&sb, v)
+	}
+	fmt.Fprintln(&sb, 2) // spacedim
+	fmt.Fprintf(&sb, "%.17g\n", spec.Time)
+	fmt.Fprintln(&sb, len(spec.Levels)-1) // finest_level
+	g0 := spec.Levels[0].Geom
+	fmt.Fprintf(&sb, "%.17g %.17g\n", g0.ProbLo[0], g0.ProbLo[1])
+	fmt.Fprintf(&sb, "%.17g %.17g\n", g0.ProbHi[0], g0.ProbHi[1])
+	for l := 0; l < len(spec.Levels)-1; l++ {
+		if l > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "%d", spec.Levels[l].RefRatio)
+	}
+	sb.WriteByte('\n')
+	for l, lev := range spec.Levels {
+		if l > 0 {
+			sb.WriteByte(' ')
+		}
+		sb.WriteString(formatBox(lev.Geom.Domain))
+	}
+	sb.WriteByte('\n')
+	for l := range spec.Levels {
+		if l > 0 {
+			sb.WriteByte(' ')
+		}
+		fmt.Fprintf(&sb, "%d", spec.Step)
+	}
+	sb.WriteByte('\n')
+	for _, lev := range spec.Levels {
+		fmt.Fprintf(&sb, "%.17g %.17g\n", lev.Geom.CellSize[0], lev.Geom.CellSize[1])
+	}
+	fmt.Fprintln(&sb, 0) // coord_sys: cartesian
+	fmt.Fprintln(&sb, 0) // boundary width
+	return sb.String()
+}
+
+func encodeJobInfo(spec Spec) string {
+	var sb strings.Builder
+	fmt.Fprintln(&sb, "==============================================================================")
+	fmt.Fprintln(&sb, " amrproxyio Job Information")
+	fmt.Fprintln(&sb, "==============================================================================")
+	fmt.Fprintf(&sb, "number of MPI processes: %d\n", spec.NProcs)
+	fmt.Fprintf(&sb, "plot step: %d\n", spec.Step)
+	fmt.Fprintf(&sb, "simulation time: %.17g\n", spec.Time)
+	fmt.Fprintf(&sb, "levels: %d\n", len(spec.Levels))
+	for l, lev := range spec.Levels {
+		fmt.Fprintf(&sb, "level %d: %d grids, %d cells\n", l, lev.BA.Len(), lev.BA.NumPts())
+	}
+	return sb.String()
+}
+
+// EncodeCellH renders the per-level Cell_H metadata file.
+func EncodeCellH(spec Spec, level int) string {
+	lev := spec.Levels[level]
+	var sb strings.Builder
+	fmt.Fprintln(&sb, 1) // version
+	fmt.Fprintln(&sb, 1) // how
+	fmt.Fprintln(&sb, spec.NComp())
+	fmt.Fprintln(&sb, 0) // nghost on disk
+	fmt.Fprintf(&sb, "(%d 0\n", lev.BA.Len())
+	for _, b := range lev.BA.Boxes {
+		fmt.Fprintln(&sb, formatBox(b))
+	}
+	fmt.Fprintln(&sb, ")")
+	fmt.Fprintln(&sb, lev.BA.Len())
+	// Fab locations: file per owning rank, offset within that rank's file.
+	offsets := map[int]int64{}
+	for i, b := range lev.BA.Boxes {
+		rank := lev.DM.Owner[i]
+		fmt.Fprintf(&sb, "FabOnDisk: Cell_D_%05d %d\n", rank, offsets[rank])
+		offsets[rank] += fabBytes(b, spec.NComp())
+	}
+	return sb.String()
+}
+
+// formatBox renders a box the AMReX way: ((lox,loy) (hix,hiy) (0,0)).
+func formatBox(b grid.Box) string {
+	return fmt.Sprintf("((%d,%d) (%d,%d) (0,0))", b.Lo.X, b.Lo.Y, b.Hi.X, b.Hi.Y)
+}
+
+// fabHeader renders the per-FAB ASCII header preceding the binary data.
+func fabHeader(b grid.Box, ncomp int) string {
+	return fmt.Sprintf("FAB %s %d\n", formatBox(b), ncomp)
+}
+
+// fabBytes is the exact on-disk size of one FAB record.
+func fabBytes(b grid.Box, ncomp int) int64 {
+	return int64(len(fabHeader(b, ncomp))) + b.NumPts()*int64(ncomp)*8
+}
+
+// CellDBytes is the exact size of the Cell_D file a rank writes for its
+// owned boxes — used by the size-only path and verified against the data
+// path in tests.
+func CellDBytes(ba amr.BoxArray, owned []int, ncomp int) int64 {
+	var n int64
+	for _, idx := range owned {
+		n += fabBytes(ba.Boxes[idx], ncomp)
+	}
+	return n
+}
+
+// encodeCellD serializes the owned FABs of a level: ASCII FAB header then
+// little-endian float64 data, component-major, row-major within component
+// — only valid-region cells, no ghosts.
+func encodeCellD(lev LevelSpec, owned []int, ncomp int) []byte {
+	var buf bytes.Buffer
+	for _, idx := range owned {
+		b := lev.BA.Boxes[idx]
+		buf.WriteString(fabHeader(b, ncomp))
+		f := lev.State.FABs[idx]
+		vals := make([]float64, 0, b.NumPts())
+		for c := 0; c < ncomp; c++ {
+			vals = vals[:0]
+			for j := b.Lo.Y; j <= b.Hi.Y; j++ {
+				for i := b.Lo.X; i <= b.Hi.X; i++ {
+					vals = append(vals, f.At(i, j, c))
+				}
+			}
+			_ = binary.Write(&buf, binary.LittleEndian, vals)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TotalBytes sums a record set.
+func TotalBytes(recs []OutputRecord) int64 {
+	var n int64
+	for _, r := range recs {
+		n += r.Bytes
+	}
+	return n
+}
+
+// MaxAbs is a helper used by tests comparing round-tripped data.
+func MaxAbs(a, b []float64) float64 {
+	var m float64
+	for i := range a {
+		if d := math.Abs(a[i] - b[i]); d > m {
+			m = d
+		}
+	}
+	return m
+}

@@ -1,0 +1,303 @@
+package plotfile
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+
+	"amrproxyio/internal/amr"
+	"amrproxyio/internal/grid"
+)
+
+// Reader support: parse a plotfile directory written through the RealDisk
+// backend back into levels and FAB data, enabling round-trip tests and
+// external inspection.
+
+// ReadHeaderMeta is the parsed top-level Header.
+type ReadHeaderMeta struct {
+	Version     string
+	VarNames    []string
+	Time        float64
+	FinestLevel int
+	ProbLo      [2]float64
+	ProbHi      [2]float64
+	RefRatios   []int
+	Domains     []grid.Box
+	Steps       []int
+	CellSizes   [][2]float64
+}
+
+// ReadLevel is one parsed level: its box list and per-box data.
+type ReadLevel struct {
+	Boxes []grid.Box
+	// Data[i] is box i's values, component-major then row-major.
+	Data [][]float64
+}
+
+// ReadHeader parses <dir>/Header.
+func ReadHeader(dir string) (ReadHeaderMeta, error) {
+	var m ReadHeaderMeta
+	f, err := os.Open(filepath.Join(dir, "Header"))
+	if err != nil {
+		return m, fmt.Errorf("plotfile: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	next := func() (string, error) {
+		if !sc.Scan() {
+			if err := sc.Err(); err != nil {
+				return "", err
+			}
+			return "", fmt.Errorf("plotfile: truncated Header")
+		}
+		return strings.TrimSpace(sc.Text()), nil
+	}
+	if m.Version, err = next(); err != nil {
+		return m, err
+	}
+	line, err := next()
+	if err != nil {
+		return m, err
+	}
+	ncomp, err := strconv.Atoi(line)
+	if err != nil {
+		return m, fmt.Errorf("plotfile: ncomp: %w", err)
+	}
+	for i := 0; i < ncomp; i++ {
+		v, err := next()
+		if err != nil {
+			return m, err
+		}
+		m.VarNames = append(m.VarNames, v)
+	}
+	if _, err = next(); err != nil { // spacedim
+		return m, err
+	}
+	if line, err = next(); err != nil {
+		return m, err
+	}
+	if m.Time, err = strconv.ParseFloat(line, 64); err != nil {
+		return m, fmt.Errorf("plotfile: time: %w", err)
+	}
+	if line, err = next(); err != nil {
+		return m, err
+	}
+	if m.FinestLevel, err = strconv.Atoi(line); err != nil {
+		return m, fmt.Errorf("plotfile: finest_level: %w", err)
+	}
+	parse2 := func() ([2]float64, error) {
+		line, err := next()
+		if err != nil {
+			return [2]float64{}, err
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return [2]float64{}, fmt.Errorf("plotfile: expected 2 floats: %q", line)
+		}
+		a, err1 := strconv.ParseFloat(fields[0], 64)
+		b, err2 := strconv.ParseFloat(fields[1], 64)
+		if err1 != nil || err2 != nil {
+			return [2]float64{}, fmt.Errorf("plotfile: bad float pair %q", line)
+		}
+		return [2]float64{a, b}, nil
+	}
+	if m.ProbLo, err = parse2(); err != nil {
+		return m, err
+	}
+	if m.ProbHi, err = parse2(); err != nil {
+		return m, err
+	}
+	if line, err = next(); err != nil { // ref ratios
+		return m, err
+	}
+	for _, f := range strings.Fields(line) {
+		r, err := strconv.Atoi(f)
+		if err != nil {
+			return m, fmt.Errorf("plotfile: ref ratio: %w", err)
+		}
+		m.RefRatios = append(m.RefRatios, r)
+	}
+	if line, err = next(); err != nil { // domains
+		return m, err
+	}
+	m.Domains, err = parseBoxes(line)
+	if err != nil {
+		return m, err
+	}
+	if line, err = next(); err != nil { // steps
+		return m, err
+	}
+	for _, f := range strings.Fields(line) {
+		s, err := strconv.Atoi(f)
+		if err != nil {
+			return m, fmt.Errorf("plotfile: step: %w", err)
+		}
+		m.Steps = append(m.Steps, s)
+	}
+	for l := 0; l <= m.FinestLevel; l++ {
+		cs, err := parse2()
+		if err != nil {
+			return m, err
+		}
+		m.CellSizes = append(m.CellSizes, cs)
+	}
+	return m, nil
+}
+
+// parseBoxes extracts every ((x,y) (x,y) (0,0)) occurrence in a line.
+func parseBoxes(line string) ([]grid.Box, error) {
+	var out []grid.Box
+	rest := line
+	for {
+		start := strings.Index(rest, "((")
+		if start < 0 {
+			break
+		}
+		end := strings.Index(rest[start:], "))")
+		if end < 0 {
+			return nil, fmt.Errorf("plotfile: unbalanced box in %q", line)
+		}
+		tok := rest[start : start+end+2]
+		b, err := parseBox(tok)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, b)
+		rest = rest[start+end+2:]
+	}
+	return out, nil
+}
+
+// parseBox parses ((lox,loy) (hix,hiy) (0,0)).
+func parseBox(tok string) (grid.Box, error) {
+	clean := strings.NewReplacer("(", " ", ")", " ", ",", " ").Replace(tok)
+	fields := strings.Fields(clean)
+	if len(fields) < 4 {
+		return grid.Box{}, fmt.Errorf("plotfile: bad box token %q", tok)
+	}
+	vals := make([]int, 4)
+	for i := 0; i < 4; i++ {
+		v, err := strconv.Atoi(fields[i])
+		if err != nil {
+			return grid.Box{}, fmt.Errorf("plotfile: bad box token %q: %w", tok, err)
+		}
+		vals[i] = v
+	}
+	return grid.NewBox(grid.IV(vals[0], vals[1]), grid.IV(vals[2], vals[3])), nil
+}
+
+// ReadLevelData parses Level_<l>/Cell_H and the referenced Cell_D files.
+func ReadLevelData(dir string, level, ncomp int) (ReadLevel, error) {
+	var rl ReadLevel
+	chPath := filepath.Join(dir, fmt.Sprintf("Level_%d", level), "Cell_H")
+	raw, err := os.ReadFile(chPath)
+	if err != nil {
+		return rl, fmt.Errorf("plotfile: %w", err)
+	}
+	lines := strings.Split(string(raw), "\n")
+	idx := 4 // version, how, ncomp, nghost
+	if len(lines) < 6 {
+		return rl, fmt.Errorf("plotfile: truncated Cell_H")
+	}
+	// "(N 0"
+	nStr := strings.Trim(strings.Fields(lines[idx])[0], "(")
+	nboxes, err := strconv.Atoi(nStr)
+	if err != nil {
+		return rl, fmt.Errorf("plotfile: Cell_H box count: %w", err)
+	}
+	idx++
+	for b := 0; b < nboxes; b++ {
+		box, err := parseBox(lines[idx])
+		if err != nil {
+			return rl, err
+		}
+		rl.Boxes = append(rl.Boxes, box)
+		idx++
+	}
+	idx += 2 // ")" and the fab count line
+	type loc struct {
+		file   string
+		offset int64
+	}
+	locs := make([]loc, 0, nboxes)
+	for b := 0; b < nboxes; b++ {
+		fields := strings.Fields(lines[idx])
+		if len(fields) != 3 || fields[0] != "FabOnDisk:" {
+			return rl, fmt.Errorf("plotfile: bad FabOnDisk line %q", lines[idx])
+		}
+		off, err := strconv.ParseInt(fields[2], 10, 64)
+		if err != nil {
+			return rl, fmt.Errorf("plotfile: offset: %w", err)
+		}
+		locs = append(locs, loc{file: fields[1], offset: off})
+		idx++
+	}
+	// Load each referenced file once.
+	cache := map[string][]byte{}
+	for b, lc := range locs {
+		data, ok := cache[lc.file]
+		if !ok {
+			data, err = os.ReadFile(filepath.Join(dir, fmt.Sprintf("Level_%d", level), lc.file))
+			if err != nil {
+				return rl, fmt.Errorf("plotfile: %w", err)
+			}
+			cache[lc.file] = data
+		}
+		vals, err := decodeFAB(data[lc.offset:], rl.Boxes[b], ncomp)
+		if err != nil {
+			return rl, fmt.Errorf("plotfile: box %d: %w", b, err)
+		}
+		rl.Data = append(rl.Data, vals)
+	}
+	return rl, nil
+}
+
+// decodeFAB parses one FAB record starting at data[0].
+func decodeFAB(data []byte, expect grid.Box, ncomp int) ([]float64, error) {
+	nl := bytes.IndexByte(data, '\n')
+	if nl < 0 {
+		return nil, fmt.Errorf("missing FAB header terminator")
+	}
+	header := string(data[:nl])
+	if !strings.HasPrefix(header, "FAB ") {
+		return nil, fmt.Errorf("bad FAB header %q", header)
+	}
+	b, err := parseBox(header[4:])
+	if err != nil {
+		return nil, err
+	}
+	if !b.Equal(expect) {
+		return nil, fmt.Errorf("FAB box %v != Cell_H box %v", b, expect)
+	}
+	n := int(b.NumPts()) * ncomp
+	payload := data[nl+1:]
+	if len(payload) < n*8 {
+		return nil, fmt.Errorf("short FAB payload: %d < %d", len(payload), n*8)
+	}
+	vals := make([]float64, n)
+	if err := binary.Read(bytes.NewReader(payload[:n*8]), binary.LittleEndian, vals); err != nil {
+		return nil, err
+	}
+	return vals, nil
+}
+
+// FABValuesOf extracts box idx's data from a MultiFab in the on-disk
+// order, for comparison against ReadLevelData.
+func FABValuesOf(mf *amr.MultiFab, idx int) []float64 {
+	f := mf.FABs[idx]
+	b := f.ValidBox
+	out := make([]float64, 0, b.NumPts()*int64(mf.NComp))
+	for c := 0; c < mf.NComp; c++ {
+		for j := b.Lo.Y; j <= b.Hi.Y; j++ {
+			for i := b.Lo.X; i <= b.Hi.X; i++ {
+				out = append(out, f.At(i, j, c))
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,107 @@
+// Package sedov provides the analytic Sedov–Taylor blast-wave relations
+// for the 2D cylindrical case the paper uses as its baseline problem
+// ("Sedov 2D cylinder in Cartesian coordinates").
+//
+// Two things are exact and used in tests: the similarity scaling of the
+// shock radius, R(t) ∝ (E t²/ρ₀)^¼ for cylindrical symmetry, and the
+// strong-shock Rankine–Hugoniot jump conditions. The dimensionless
+// constant ξ₀ multiplying the similarity radius is computed with the
+// thin-shell energy-balance approximation (documented accuracy ~10-15%
+// versus the exact Sedov integral), which is sufficient for its role here:
+// driving refinement tagging in the Summit-scale surrogate pipeline, where
+// only the front's location and growth rate shape the workload.
+package sedov
+
+import (
+	"fmt"
+	"math"
+)
+
+// Params describes a cylindrical blast: deposited energy per unit length
+// E, ambient density Rho0, ambient pressure P0, and the gas gamma.
+type Params struct {
+	E     float64
+	Rho0  float64
+	P0    float64
+	Gamma float64
+}
+
+// Default mirrors the Castro Sedov setup in problem units: unit energy,
+// unit ambient density, tiny ambient pressure, ideal diatomic gas.
+func Default() Params {
+	return Params{E: 1.0, Rho0: 1.0, P0: 1e-5, Gamma: 1.4}
+}
+
+// Validate checks physical sanity.
+func (p Params) Validate() error {
+	if p.E <= 0 || p.Rho0 <= 0 || p.Gamma <= 1 {
+		return fmt.Errorf("sedov: invalid params %+v", p)
+	}
+	return nil
+}
+
+// Xi0 is the thin-shell estimate of the similarity constant for
+// cylindrical (j=2) geometry: the swept mass rides in a shell at the
+// post-shock velocity with the post-shock pressure filling the interior.
+func (p Params) Xi0() float64 {
+	g := p.Gamma
+	// Kinetic term 2/(γ+1)² plus internal term 2/((γ+1)(γ-1)) of the
+	// swept-mass energy balance E = a·π·ρ₀·R²·Ṙ².
+	a := 2/((g+1)*(g+1)) + 2/((g+1)*(g-1))
+	return math.Pow(4/(math.Pi*a), 0.25)
+}
+
+// ShockRadius returns R(t) = ξ₀ (E t² / ρ₀)^¼.
+func (p Params) ShockRadius(t float64) float64 {
+	if t <= 0 {
+		return 0
+	}
+	return p.Xi0() * math.Pow(p.E*t*t/p.Rho0, 0.25)
+}
+
+// ShockSpeed returns dR/dt = R / (2t) (from the t^½ similarity law).
+func (p Params) ShockSpeed(t float64) float64 {
+	if t <= 0 {
+		return math.Inf(1)
+	}
+	return p.ShockRadius(t) / (2 * t)
+}
+
+// TimeAtRadius inverts ShockRadius: the time at which the front reaches r.
+func (p Params) TimeAtRadius(r float64) float64 {
+	if r <= 0 {
+		return 0
+	}
+	x := r / p.Xi0()
+	return math.Sqrt(x * x * x * x * p.Rho0 / p.E)
+}
+
+// PostShock returns the strong-shock Rankine–Hugoniot state immediately
+// behind a shock moving at speed us into the ambient gas: density,
+// material speed, and pressure.
+func (p Params) PostShock(us float64) (rho, u, pres float64) {
+	g := p.Gamma
+	rho = p.Rho0 * (g + 1) / (g - 1)
+	u = 2 * us / (g + 1)
+	pres = 2 * p.Rho0 * us * us / (g + 1)
+	return
+}
+
+// SoundSpeedAmbient returns the ambient sound speed sqrt(γ p₀ / ρ₀).
+func (p Params) SoundSpeedAmbient() float64 {
+	return math.Sqrt(p.Gamma * p.P0 / p.Rho0)
+}
+
+// FrontAnnulus describes the radial band [RInner, ROuter] the surrogate
+// tagging pipeline marks for refinement at time t: the shock front plus a
+// trailing band of widthBehind and a leading band of widthAhead (both in
+// units of the shock radius).
+func (p Params) FrontAnnulus(t, widthBehind, widthAhead float64) (rInner, rOuter float64) {
+	r := p.ShockRadius(t)
+	rInner = r * (1 - widthBehind)
+	if rInner < 0 {
+		rInner = 0
+	}
+	rOuter = r * (1 + widthAhead)
+	return
+}

@@ -1,0 +1,126 @@
+package sedov
+
+import (
+	"math"
+	"testing"
+)
+
+func TestValidate(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := Default()
+	bad.Gamma = 1.0
+	if bad.Validate() == nil {
+		t.Error("gamma=1 accepted")
+	}
+	bad = Default()
+	bad.E = -1
+	if bad.Validate() == nil {
+		t.Error("negative energy accepted")
+	}
+}
+
+func TestShockRadiusScaling(t *testing.T) {
+	p := Default()
+	// R ∝ t^(1/2) for cylindrical symmetry: doubling t scales R by sqrt(2).
+	r1 := p.ShockRadius(0.01)
+	r2 := p.ShockRadius(0.02)
+	if math.Abs(r2/r1-math.Sqrt2) > 1e-12 {
+		t.Errorf("ratio = %g, want sqrt(2)", r2/r1)
+	}
+	// R ∝ E^(1/4).
+	p16 := p
+	p16.E = 16
+	if math.Abs(p16.ShockRadius(0.01)/r1-2) > 1e-12 {
+		t.Errorf("E scaling = %g, want 2", p16.ShockRadius(0.01)/r1)
+	}
+	// R ∝ ρ₀^(-1/4).
+	pd := p
+	pd.Rho0 = 16
+	if math.Abs(pd.ShockRadius(0.01)/r1-0.5) > 1e-12 {
+		t.Errorf("rho scaling = %g, want 0.5", pd.ShockRadius(0.01)/r1)
+	}
+	if p.ShockRadius(0) != 0 || p.ShockRadius(-1) != 0 {
+		t.Error("radius at t<=0 should be 0")
+	}
+}
+
+func TestXi0Reasonable(t *testing.T) {
+	// The thin-shell estimate should land within ~20% of the exact Sedov
+	// constant for γ=1.4 cylindrical (ξ₀ ≈ 1.0).
+	xi := Default().Xi0()
+	if xi < 0.8 || xi > 1.2 {
+		t.Errorf("Xi0 = %g, expected within [0.8, 1.2]", xi)
+	}
+}
+
+func TestTimeAtRadiusInverts(t *testing.T) {
+	p := Default()
+	for _, tt := range []float64{1e-4, 1e-3, 0.05, 0.1} {
+		r := p.ShockRadius(tt)
+		back := p.TimeAtRadius(r)
+		if math.Abs(back-tt)/tt > 1e-12 {
+			t.Errorf("TimeAtRadius(ShockRadius(%g)) = %g", tt, back)
+		}
+	}
+	if p.TimeAtRadius(0) != 0 {
+		t.Error("TimeAtRadius(0) should be 0")
+	}
+}
+
+func TestShockSpeedConsistent(t *testing.T) {
+	p := Default()
+	tt := 0.02
+	// Finite-difference check of dR/dt.
+	h := 1e-8
+	fd := (p.ShockRadius(tt+h) - p.ShockRadius(tt-h)) / (2 * h)
+	if math.Abs(p.ShockSpeed(tt)-fd)/fd > 1e-5 {
+		t.Errorf("ShockSpeed = %g, fd = %g", p.ShockSpeed(tt), fd)
+	}
+	if !math.IsInf(p.ShockSpeed(0), 1) {
+		t.Error("speed at t=0 should be +Inf")
+	}
+}
+
+func TestPostShockStrongLimits(t *testing.T) {
+	p := Default()
+	us := 10.0
+	rho, u, pres := p.PostShock(us)
+	// Density jump (γ+1)/(γ-1) = 6 for γ=1.4.
+	if math.Abs(rho-6) > 1e-12 {
+		t.Errorf("post-shock density = %g, want 6", rho)
+	}
+	if math.Abs(u-2*us/2.4) > 1e-12 {
+		t.Errorf("post-shock velocity = %g", u)
+	}
+	if math.Abs(pres-2*us*us/2.4) > 1e-12 {
+		t.Errorf("post-shock pressure = %g", pres)
+	}
+	// Post-shock state must be supersonic relative to ambient.
+	if u < p.SoundSpeedAmbient() {
+		t.Error("post-shock flow should exceed ambient sound speed for a strong shock")
+	}
+}
+
+func TestFrontAnnulus(t *testing.T) {
+	p := Default()
+	in, out := p.FrontAnnulus(0.02, 0.25, 0.1)
+	r := p.ShockRadius(0.02)
+	if math.Abs(in-0.75*r) > 1e-12 || math.Abs(out-1.1*r) > 1e-12 {
+		t.Errorf("annulus = [%g, %g], r = %g", in, out, r)
+	}
+	// Very wide trailing band clamps at zero.
+	in, _ = p.FrontAnnulus(0.02, 2.0, 0.1)
+	if in != 0 {
+		t.Errorf("inner radius = %g, want 0", in)
+	}
+}
+
+func TestAmbientSoundSpeed(t *testing.T) {
+	p := Default()
+	want := math.Sqrt(1.4 * 1e-5)
+	if math.Abs(p.SoundSpeedAmbient()-want) > 1e-15 {
+		t.Errorf("c0 = %g, want %g", p.SoundSpeedAmbient(), want)
+	}
+}

@@ -1,0 +1,135 @@
+package sim
+
+import (
+	"fmt"
+
+	"amrproxyio/internal/hydro"
+	"amrproxyio/internal/inputs"
+	"amrproxyio/internal/iosim"
+	"amrproxyio/internal/plotfile"
+)
+
+// Checkpoint-restart integration: the driver writes checkpoints on the
+// amr.check_int cadence (same N-to-N pattern as plotfiles, carrying the
+// conserved state) and can resume exactly from one.
+
+// ShouldCheckpoint reports whether the current step is a checkpoint step.
+// Step 0 is excluded: a fresh run's initial state is reproducible from the
+// inputs file, matching AMReX's default behavior.
+func (s *Sim) ShouldCheckpoint() bool {
+	return s.Cfg.CheckInt > 0 && s.Step > 0 && s.Step%s.Cfg.CheckInt == 0
+}
+
+// WriteCheckpoint emits a checkpoint of the conserved state.
+func (s *Sim) WriteCheckpoint() error {
+	if s.fs == nil {
+		return fmt.Errorf("sim: no filesystem configured")
+	}
+	spec := plotfile.CheckpointSpec{
+		Root:   fmt.Sprintf("%s%05d", s.Cfg.CheckFile, s.Step),
+		Time:   s.Time,
+		Step:   s.Step,
+		LastDt: s.LastDt,
+		NComp:  hydro.NCons,
+		NProcs: s.Cfg.NProcs,
+	}
+	for l, lev := range s.Levels {
+		spec.Levels = append(spec.Levels, plotfile.LevelSpec{
+			Geom:     lev.Geom,
+			BA:       lev.BA,
+			DM:       lev.DM,
+			RefRatio: s.Cfg.RefRatioAt(l),
+			State:    lev.State,
+		})
+	}
+	recs, err := plotfile.WriteCheckpoint(s.fs, spec)
+	if err != nil {
+		return err
+	}
+	s.checkpointRecords = append(s.checkpointRecords, recs...)
+	s.nCheckpoints++
+	return nil
+}
+
+// CheckpointRecords returns the checkpoint output ledger (kept separate
+// from plot records: the paper's analysis covers plot files only).
+func (s *Sim) CheckpointRecords() []plotfile.OutputRecord { return s.checkpointRecords }
+
+// NCheckpoints returns how many checkpoints were written.
+func (s *Sim) NCheckpoints() int { return s.nCheckpoints }
+
+// Restore builds a Sim from a checkpoint directory previously written
+// through a RealDisk filesystem. The configuration must match the original
+// run (it supplies everything the checkpoint does not carry, e.g. CFL and
+// regrid cadence).
+func Restore(dir string, cfg inputs.CastroInputs, opts Options, fs *iosim.FileSystem) (*Sim, error) {
+	rs, err := plotfile.ReadCheckpoint(dir)
+	if err != nil {
+		return nil, err
+	}
+	if rs.NComp != hydro.NCons {
+		return nil, fmt.Errorf("sim: checkpoint has %d components, want %d", rs.NComp, hydro.NCons)
+	}
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	s := &Sim{Cfg: cfg, Opts: opts, fs: fs, Step: rs.Step, Time: rs.Time, LastDt: rs.LastDt}
+	for _, lev := range rs.Levels {
+		state := plotfile.FillMultiFabFromRestart(lev, hydro.NCons, nGhost)
+		s.Levels = append(s.Levels, &Level{
+			Geom:  lev.Geom,
+			BA:    lev.BA,
+			DM:    lev.DM,
+			State: state,
+		})
+	}
+	if len(s.Levels) == 0 {
+		return nil, fmt.Errorf("sim: checkpoint has no levels")
+	}
+	s.fillPatchAll()
+	return s, nil
+}
+
+// RunWithCheckpoints is Run plus checkpoint output on the check_int
+// cadence.
+func (s *Sim) RunWithCheckpoints() error {
+	if s.ShouldPlot() && s.fs != nil {
+		if err := s.WritePlot(); err != nil {
+			return err
+		}
+	}
+	for s.Step < s.Cfg.MaxStep {
+		if s.Cfg.StopTime > 0 && s.Time >= s.Cfg.StopTime {
+			break
+		}
+		s.Advance()
+		if s.Cfg.RegridInt > 0 && s.Step%s.Cfg.RegridInt == 0 && s.Cfg.MaxLevel > 0 {
+			s.Regrid()
+		}
+		if s.ShouldPlot() && s.fs != nil {
+			if err := s.WritePlot(); err != nil {
+				return err
+			}
+		}
+		if s.ShouldCheckpoint() && s.fs != nil {
+			if err := s.WriteCheckpoint(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// StateDigest summarizes the conserved state for exact comparison in
+// restart tests: per-level (sum, min, max) of each component.
+func (s *Sim) StateDigest() [][]float64 {
+	var out [][]float64
+	for _, lev := range s.Levels {
+		row := make([]float64, 0, hydro.NCons*3)
+		for c := 0; c < hydro.NCons; c++ {
+			row = append(row, lev.State.Sum(c), lev.State.Min(c), lev.State.Max(c))
+		}
+		out = append(out, row)
+	}
+	return out
+}

@@ -1,0 +1,259 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func almost(a, b, tol float64) bool { return math.Abs(a-b) <= tol }
+
+func TestOLSExactLine(t *testing.T) {
+	x := []float64{0, 1, 2, 3, 4}
+	y := make([]float64, len(x))
+	for i, v := range x {
+		y[i] = 3 + 2*v
+	}
+	fit, err := OLS(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(fit.Slope, 2, 1e-12) || !almost(fit.Intercept, 3, 1e-12) {
+		t.Errorf("fit = %+v", fit)
+	}
+	if !almost(fit.R2, 1, 1e-12) {
+		t.Errorf("R2 = %g", fit.R2)
+	}
+	if !almost(fit.Predict(10), 23, 1e-12) {
+		t.Errorf("Predict(10) = %g", fit.Predict(10))
+	}
+}
+
+func TestOLSNoisy(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	var x, y []float64
+	for i := 0; i < 500; i++ {
+		xi := float64(i)
+		x = append(x, xi)
+		y = append(y, 5+0.5*xi+rng.NormFloat64())
+	}
+	fit, err := OLS(x, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !almost(fit.Slope, 0.5, 0.01) {
+		t.Errorf("slope = %g", fit.Slope)
+	}
+	if fit.R2 < 0.99 {
+		t.Errorf("R2 = %g", fit.R2)
+	}
+}
+
+func TestOLSErrors(t *testing.T) {
+	if _, err := OLS([]float64{1}, []float64{1}); err == nil {
+		t.Error("single point accepted")
+	}
+	if _, err := OLS([]float64{1, 2}, []float64{1}); err == nil {
+		t.Error("length mismatch accepted")
+	}
+	if _, err := OLS([]float64{2, 2, 2}, []float64{1, 2, 3}); err == nil {
+		t.Error("zero-variance x accepted")
+	}
+}
+
+func TestOLSMulti(t *testing.T) {
+	// y = 1 + 2*a + 3*b with a constant column appended.
+	var X [][]float64
+	var y []float64
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 100; i++ {
+		a, b := rng.Float64()*10, rng.Float64()*10
+		X = append(X, []float64{1, a, b})
+		y = append(y, 1+2*a+3*b)
+	}
+	fit, err := OLSMulti(X, y)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 2, 3}
+	for i, c := range fit.Coef {
+		if !almost(c, want[i], 1e-8) {
+			t.Errorf("coef[%d] = %g, want %g", i, c, want[i])
+		}
+	}
+	if !almost(fit.R2, 1, 1e-10) {
+		t.Errorf("R2 = %g", fit.R2)
+	}
+	if !almost(fit.Predict([]float64{1, 2, 3}), 1+4+9, 1e-8) {
+		t.Errorf("Predict = %g", fit.Predict([]float64{1, 2, 3}))
+	}
+}
+
+func TestOLSMultiErrors(t *testing.T) {
+	if _, err := OLSMulti(nil, nil); err == nil {
+		t.Error("empty input accepted")
+	}
+	if _, err := OLSMulti([][]float64{{1, 2}}, []float64{1}); err == nil {
+		t.Error("n < k accepted")
+	}
+	// Collinear columns -> singular normal equations.
+	X := [][]float64{{1, 2}, {2, 4}, {3, 6}}
+	if _, err := OLSMulti(X, []float64{1, 2, 3}); err == nil {
+		t.Error("singular system accepted")
+	}
+}
+
+func TestGoldenSection(t *testing.T) {
+	x, fx := GoldenSection(func(x float64) float64 { return (x - 1.3) * (x - 1.3) }, 0, 4, 1e-9)
+	if !almost(x, 1.3, 1e-7) {
+		t.Errorf("xmin = %g", x)
+	}
+	if fx > 1e-12 {
+		t.Errorf("fmin = %g", fx)
+	}
+	// Reversed bounds work too.
+	x, _ = GoldenSection(func(x float64) float64 { return math.Abs(x - 2) }, 3, 0, 1e-9)
+	if !almost(x, 2, 1e-6) {
+		t.Errorf("reversed bounds xmin = %g", x)
+	}
+}
+
+func TestGridThenGolden(t *testing.T) {
+	// Multi-modal: local min near 0.5, global near 2.8.
+	f := func(x float64) float64 {
+		return math.Min((x-0.5)*(x-0.5)+0.5, (x-2.8)*(x-2.8))
+	}
+	x, _ := GridThenGolden(f, 0, 4, 41, 1e-9)
+	if !almost(x, 2.8, 1e-6) {
+		t.Errorf("global xmin = %g", x)
+	}
+}
+
+func TestErrorMetrics(t *testing.T) {
+	a := []float64{1, 2, 3, 4}
+	b := []float64{1, 2, 3, 4}
+	if RMSE(a, b) != 0 || SSE(a, b) != 0 {
+		t.Error("identical series should have zero error")
+	}
+	if MAPE(a, b) != 0 {
+		t.Error("identical series MAPE nonzero")
+	}
+	c := []float64{2, 3, 4, 5}
+	if !almost(RMSE(a, c), 1, 1e-12) {
+		t.Errorf("RMSE = %g", RMSE(a, c))
+	}
+	if !almost(SSE(a, c), 4, 1e-12) {
+		t.Errorf("SSE = %g", SSE(a, c))
+	}
+	// MAPE vs reference a: |1/1|+|1/2|+|1/3|+|1/4| over 4 * 100.
+	want := 100 * (1 + 0.5 + 1.0/3 + 0.25) / 4
+	if !almost(MAPE(a, c), want, 1e-9) {
+		t.Errorf("MAPE = %g want %g", MAPE(a, c), want)
+	}
+	if !math.IsNaN(RMSE(a, []float64{1})) {
+		t.Error("mismatched RMSE should be NaN")
+	}
+	if !math.IsNaN(MAPE([]float64{0}, []float64{1})) {
+		t.Error("all-zero reference MAPE should be NaN")
+	}
+}
+
+func TestPearson(t *testing.T) {
+	a := []float64{1, 2, 3, 4, 5}
+	b := []float64{2, 4, 6, 8, 10}
+	if !almost(Pearson(a, b), 1, 1e-12) {
+		t.Errorf("Pearson = %g", Pearson(a, b))
+	}
+	bneg := []float64{10, 8, 6, 4, 2}
+	if !almost(Pearson(a, bneg), -1, 1e-12) {
+		t.Errorf("Pearson = %g", Pearson(a, bneg))
+	}
+	if !math.IsNaN(Pearson(a, []float64{1, 1, 1, 1, 1})) {
+		t.Error("constant series should give NaN")
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	s := Summarize([]float64{4, 1, 3, 2, 5})
+	if s.N != 5 || s.Min != 1 || s.Max != 5 || !almost(s.Mean, 3, 1e-12) || s.Median != 3 {
+		t.Errorf("summary = %+v", s)
+	}
+	if !almost(s.Std, math.Sqrt(2), 1e-12) {
+		t.Errorf("std = %g", s.Std)
+	}
+	if z := Summarize(nil); z.N != 0 {
+		t.Error("empty summary should be zero")
+	}
+}
+
+func TestImbalanceRatio(t *testing.T) {
+	if !almost(ImbalanceRatio([]float64{1, 1, 1, 1}), 1, 1e-12) {
+		t.Error("uniform sample should have ratio 1")
+	}
+	if !almost(ImbalanceRatio([]float64{0, 0, 4}), 3, 1e-12) {
+		t.Errorf("ratio = %g", ImbalanceRatio([]float64{0, 0, 4}))
+	}
+	if !math.IsNaN(ImbalanceRatio(nil)) {
+		t.Error("empty sample should be NaN")
+	}
+}
+
+func TestCumSum(t *testing.T) {
+	got := CumSum([]float64{1, 2, 3})
+	want := []float64{1, 3, 6}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Errorf("CumSum = %v", got)
+		}
+	}
+	if len(CumSum(nil)) != 0 {
+		t.Error("empty CumSum should be empty")
+	}
+}
+
+func TestCumSumProperty(t *testing.T) {
+	f := func(xs []float64) bool {
+		// Clamp to a sane range: NaN/Inf break comparisons and magnitudes
+		// near MaxFloat64 make the running sum lose all relative precision.
+		for i := range xs {
+			if math.IsNaN(xs[i]) || math.IsInf(xs[i], 0) || math.Abs(xs[i]) > 1e12 {
+				xs[i] = 1
+			}
+		}
+		cs := CumSum(xs)
+		if len(cs) != len(xs) {
+			return false
+		}
+		for i := 1; i < len(cs); i++ {
+			if !almost(cs[i]-cs[i-1], xs[i], math.Abs(xs[i])*1e-9+1e-9) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestGoldenSectionMatchesGridOnCalibrationShape(t *testing.T) {
+	// Objective shaped like the dataset_growth calibration: SSE between a
+	// geometric series and a measured one; unimodal in the growth factor.
+	measured := make([]float64, 20)
+	for i := range measured {
+		measured[i] = 1e6 * math.Pow(1.013075, float64(i))
+	}
+	obj := func(g float64) float64 {
+		var s float64
+		for i := range measured {
+			pred := 1e6 * math.Pow(g, float64(i))
+			s += (pred - measured[i]) * (pred - measured[i])
+		}
+		return s
+	}
+	x, _ := GoldenSection(obj, 1.0, 1.05, 1e-10)
+	if !almost(x, 1.013075, 1e-6) {
+		t.Errorf("recovered growth = %g", x)
+	}
+}

@@ -1,0 +1,278 @@
+// Package surrogate generates the paper's Summit-scale I/O workloads
+// (meshes up to 131072 x 131072 ≈ 17B cells on up to 1024 ranks) without
+// solving hydrodynamics. The analytic Sedov–Taylor front location drives
+// refinement tagging — a thin annulus of cells around the shock, like the
+// gradient tags the real solver produces — and the identical meshing
+// pipeline (Berger–Rigoutsos clustering, blocking-factor alignment,
+// max-grid-size splitting, proper nesting, distribution mapping) builds the
+// level hierarchy. Plotfiles then go through the same N-to-N writer in
+// size-only mode, so ledger entries are byte-exact for the structure the
+// hierarchy would produce, while no field memory is ever allocated.
+//
+// DESIGN.md documents this as the substitution for the paper's Summit runs:
+// at these scales the measured quantity (bytes per step/level/task) depends
+// on grid counts, not field values.
+package surrogate
+
+import (
+	"fmt"
+	"math"
+
+	"amrproxyio/internal/amr"
+	"amrproxyio/internal/grid"
+	"amrproxyio/internal/inputs"
+	"amrproxyio/internal/iosim"
+	"amrproxyio/internal/plotfile"
+	"amrproxyio/internal/sedov"
+	"amrproxyio/internal/sim"
+)
+
+// Options tunes the surrogate's tagging and time-step model.
+type Options struct {
+	Dist amr.DistStrategy
+	// Blast supplies the analytic front r(t).
+	Blast sedov.Params
+	// Center of the blast in physical coordinates.
+	Center [2]float64
+	// WidthCells is the half-width of the tagged annulus in cells of the
+	// level being tagged — mirroring gradient tags, which span a fixed
+	// number of cells at each resolution. The CFL number widens the band
+	// slightly (larger cfl -> larger dt -> the front moves farther between
+	// regrids, so more cells stay tagged), which reproduces the paper's
+	// Fig. 6 cfl sensitivity.
+	WidthCells float64
+	// SignalFactor converts the shock speed into the dt-limiting signal
+	// speed (shock + post-shock acoustics).
+	SignalFactor float64
+}
+
+// DefaultOptions mirrors the solver's refinement behavior.
+func DefaultOptions() Options {
+	return Options{
+		Dist:         amr.DistKnapsack,
+		Blast:        sedov.Default(),
+		Center:       [2]float64{0.5, 0.5},
+		WidthCells:   4,
+		SignalFactor: 2,
+	}
+}
+
+// Runner evolves the surrogate hierarchy through time.
+type Runner struct {
+	Cfg  inputs.CastroInputs
+	Opts Options
+
+	Geoms []grid.Geom // per level, 0..MaxLevel
+	BAs   []amr.BoxArray
+	DMs   []amr.DistributionMapping
+
+	Step   int
+	Time   float64
+	LastDt float64
+
+	fs      *iosim.FileSystem
+	records []plotfile.OutputRecord
+	nPlots  int
+}
+
+// New builds the surrogate at its starting time (front at roughly the
+// initial deposit radius).
+func New(cfg inputs.CastroInputs, opts Options, fs *iosim.FileSystem) (*Runner, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	r := &Runner{Cfg: cfg, Opts: opts, fs: fs}
+	dom := grid.NewBox(grid.IV(0, 0), grid.IV(cfg.NCell[0]-1, cfg.NCell[1]-1))
+	g := grid.NewGeom(dom, cfg.ProbLo, cfg.ProbHi)
+	r.Geoms = []grid.Geom{g}
+	for l := 0; l < cfg.MaxLevel; l++ {
+		g = g.Refine(cfg.RefRatioAt(l))
+		r.Geoms = append(r.Geoms, g)
+	}
+	// Start when the front spans a few cells of the finest level so the
+	// initial hierarchy is non-trivial, as in the solver's t=0 state.
+	dxF := r.Geoms[len(r.Geoms)-1].CellSize[0]
+	r.Time = opts.Blast.TimeAtRadius(4 * dxF)
+	r.buildHierarchy()
+	return r, nil
+}
+
+// FinestLevel returns the highest level index with grids.
+func (r *Runner) FinestLevel() int { return len(r.BAs) - 1 }
+
+// Records returns accumulated plot output records.
+func (r *Runner) Records() []plotfile.OutputRecord { return r.records }
+
+// NPlots returns the number of plot dumps performed.
+func (r *Runner) NPlots() int { return r.nPlots }
+
+// Rebuild regenerates the hierarchy for the runner's current time — the
+// public regrid entry point for callers driving the runner manually.
+func (r *Runner) Rebuild() { r.buildHierarchy() }
+
+// buildHierarchy regenerates every level's BoxArray for the current time.
+func (r *Runner) buildHierarchy() {
+	cfg := r.Cfg
+	dom0 := r.Geoms[0].Domain
+	ba0 := amr.SingleBoxArray(dom0, cfg.MaxGridSize, cfg.BlockingFactor)
+	r.BAs = []amr.BoxArray{ba0}
+	r.DMs = []amr.DistributionMapping{amr.Distribute(ba0, cfg.NProcs, r.Opts.Dist)}
+	for l := 0; l < cfg.MaxLevel; l++ {
+		tags := r.annulusTags(l)
+		if tags.Len() == 0 {
+			break
+		}
+		ba := amr.MakeFineBoxArray(tags, r.Geoms[l].Domain, cfg.RefRatioAt(l),
+			cfg.BlockingFactor, cfg.MaxGridSize, cfg.GridEff, 0)
+		if l > 0 {
+			ba = amr.EnforceNesting(ba, r.BAs[l], cfg.RefRatioAt(l))
+		}
+		if ba.Len() == 0 {
+			break
+		}
+		r.BAs = append(r.BAs, ba)
+		r.DMs = append(r.DMs, amr.Distribute(ba, cfg.NProcs, r.Opts.Dist))
+	}
+}
+
+// annulusTags tags level-l cells within the front annulus. Tags are
+// generated directly at blocking-factor granularity by walking the ring,
+// so the cost scales with the front's circumference, not the mesh area.
+func (r *Runner) annulusTags(l int) *amr.TagSet {
+	g := r.Geoms[l]
+	dx := g.CellSize[0]
+	// The tag band: WidthCells cells behind and ahead of the front, with a
+	// CFL-proportional widening (see Options.WidthCells).
+	width := (r.Opts.WidthCells + 4*r.Cfg.CFL) * dx
+	rad := r.Opts.Blast.ShockRadius(r.Time)
+	rInner := rad - width
+	if rInner < 0 {
+		rInner = 0
+	}
+	rOuter := rad + width
+
+	tags := amr.NewTagSet()
+	dom := g.Domain
+	cx, cy := r.Opts.Center[0], r.Opts.Center[1]
+	addAt := func(x, y float64) {
+		i := dom.Lo.X + int((x-g.ProbLo[0])/g.CellSize[0])
+		j := dom.Lo.Y + int((y-g.ProbLo[1])/g.CellSize[1])
+		p := grid.IV(i, j)
+		if dom.Contains(p) {
+			tags.Add(p)
+		}
+	}
+	if rOuter <= float64(r.Cfg.BlockingFactor)*dx*2 {
+		// Early times: the whole disk is a few cells; tag it directly.
+		steps := int(rOuter/dx) + 2
+		for jj := -steps; jj <= steps; jj++ {
+			for ii := -steps; ii <= steps; ii++ {
+				x, y := cx+float64(ii)*dx, cy+float64(jj)*dx
+				d := math.Hypot(x-cx, y-cy)
+				if d <= rOuter {
+					addAt(x, y)
+				}
+			}
+		}
+		return tags
+	}
+	// Walk the annulus: radial step of half a cell, angular step matched
+	// to the cell size at that radius.
+	for rr := rInner; rr <= rOuter; rr += dx / 2 {
+		if rr <= 0 {
+			addAt(cx, cy)
+			continue
+		}
+		dTheta := (dx / 2) / rr
+		for th := 0.0; th < 2*math.Pi; th += dTheta {
+			addAt(cx+rr*math.Cos(th), cy+rr*math.Sin(th))
+		}
+	}
+	return tags
+}
+
+// ComputeDt models the CFL-limited step: the finest cell size over the
+// front signal speed, with init_shrink and change_max damping applied the
+// same way the real driver does.
+func (r *Runner) ComputeDt() float64 {
+	dxF := r.Geoms[len(r.Geoms)-1].CellSize[0]
+	signal := r.Opts.SignalFactor * r.Opts.Blast.ShockSpeed(r.Time)
+	dt := r.Cfg.CFL * dxF / signal
+	if r.Step == 0 {
+		dt *= r.Cfg.InitShrink
+	} else if r.LastDt > 0 && dt > r.Cfg.ChangeMax*r.LastDt {
+		dt = r.Cfg.ChangeMax * r.LastDt
+	}
+	if r.Cfg.StopTime > 0 && r.Time+dt > r.Cfg.StopTime {
+		dt = r.Cfg.StopTime - r.Time
+	}
+	return dt
+}
+
+// Advance moves the front by one step.
+func (r *Runner) Advance() {
+	dt := r.ComputeDt()
+	r.Time += dt
+	r.LastDt = dt
+	r.Step++
+}
+
+// ShouldPlot mirrors the solver's plot cadence.
+func (r *Runner) ShouldPlot() bool {
+	return r.Cfg.PlotInt > 0 && r.Step%r.Cfg.PlotInt == 0
+}
+
+// WritePlot emits a size-only plotfile for the current hierarchy.
+func (r *Runner) WritePlot() error {
+	if r.fs == nil {
+		return fmt.Errorf("surrogate: no filesystem configured")
+	}
+	spec := plotfile.Spec{
+		Root:     fmt.Sprintf("%s%05d", r.Cfg.PlotFile, r.Step),
+		VarNames: sim.PlotVarNames,
+		Time:     r.Time,
+		Step:     r.Step,
+		NProcs:   r.Cfg.NProcs,
+	}
+	for l := range r.BAs {
+		spec.Levels = append(spec.Levels, plotfile.LevelSpec{
+			Geom:     r.Geoms[l],
+			BA:       r.BAs[l],
+			DM:       r.DMs[l],
+			RefRatio: r.Cfg.RefRatioAt(l),
+		})
+	}
+	recs, err := plotfile.Write(r.fs, spec)
+	if err != nil {
+		return err
+	}
+	r.records = append(r.records, recs...)
+	r.nPlots++
+	return nil
+}
+
+// Run executes the surrogate: plot at step 0, advance with regridding
+// every regrid_int steps, plot every plot_int steps, until max_step or
+// stop_time.
+func (r *Runner) Run() error {
+	if r.ShouldPlot() && r.fs != nil {
+		if err := r.WritePlot(); err != nil {
+			return err
+		}
+	}
+	for r.Step < r.Cfg.MaxStep {
+		if r.Cfg.StopTime > 0 && r.Time >= r.Cfg.StopTime {
+			break
+		}
+		r.Advance()
+		if r.Cfg.RegridInt > 0 && r.Step%r.Cfg.RegridInt == 0 {
+			r.buildHierarchy()
+		}
+		if r.ShouldPlot() && r.fs != nil {
+			if err := r.WritePlot(); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,12 @@
+package amrproxyio_test
+
+import "os"
+
+// statFile returns a file's on-disk size.
+func statFile(path string) (int64, error) {
+	info, err := os.Stat(path)
+	if err != nil {
+		return 0, err
+	}
+	return info.Size(), nil
+}
