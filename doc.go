@@ -10,9 +10,23 @@
 // translating Castro inputs into MACSio parameters (Eq. 3 and the
 // calibrated dataset_growth kernel).
 //
+// Scaling architecture: every neighbor-search hot path (ghost exchange,
+// fill-patch, average-down, reflux, hierarchy swap) runs on two shared
+// pieces of spatial metadata rather than all-pairs box scans. A
+// grid.BoxIndex — a bucketed spatial hash attached lazily to each
+// amr.BoxArray — answers box/point intersection queries in ~O(1), and a
+// communication-plan cache keyed on BoxArray content fingerprints stores
+// the (src, dst, region) copy schedules so a plan is computed once per
+// grid generation and replayed every timestep until a regrid changes the
+// boxes (the same design as AMReX's hashed BoxArray lookup plus its
+// FillBoundary/copy comm-metadata caches). This is what lets simulated
+// campaigns scale to thousands-of-boxes Summit-class decompositions with
+// per-step cost linear, not quadratic, in box count.
+//
 // Layout:
 //
-//	internal/grid      index-space geometry (boxes, Morton codes)
+//	internal/grid      index-space geometry (boxes, Morton codes,
+//	                   BoxIndex spatial hash)
 //	internal/mpisim    simulated MPI (SPMD ranks, collectives)
 //	internal/iosim     parallel filesystem model + write ledger
 //	internal/inputs    AMReX inputs-file parser, Castro configuration

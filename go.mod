@@ -1,0 +1,3 @@
+module amrproxyio
+
+go 1.22

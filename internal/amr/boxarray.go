@@ -13,25 +13,66 @@ package amr
 import (
 	"fmt"
 	"sort"
+	"sync"
 
 	"amrproxyio/internal/grid"
 )
 
 // BoxArray is the set of boxes that tile a level's valid region.
+//
+// A BoxArray built through NewBoxArray (or any constructor that goes
+// through it) carries a lazily-built spatial index and content fingerprint
+// shared by all copies of the value. Boxes must not be mutated after the
+// first Index/Fingerprint call; AMR code never does — regrids build new
+// arrays — which is exactly the AMReX immutability contract.
 type BoxArray struct {
 	Boxes []grid.Box
+	h     *baHolder
+}
+
+// baHolder caches the derived spatial metadata of one immutable box list.
+type baHolder struct {
+	idxOnce sync.Once
+	idx     *grid.BoxIndex
+	fpOnce  sync.Once
+	fp      uint64
 }
 
 // NewBoxArray wraps a box list.
 func NewBoxArray(boxes []grid.Box) BoxArray {
-	return BoxArray{Boxes: boxes}
+	return BoxArray{Boxes: boxes, h: &baHolder{}}
+}
+
+// Index returns the spatial index over the array's boxes, building it on
+// first use. Zero-value BoxArrays (constructed without NewBoxArray, e.g.
+// by a checkpoint loader filling Boxes directly) get a fresh uncached
+// index per call, which is correct but slower — hot paths always hold
+// arrays with a cache slot.
+func (ba BoxArray) Index() *grid.BoxIndex {
+	if ba.h == nil {
+		return grid.NewBoxIndex(ba.Boxes)
+	}
+	ba.h.idxOnce.Do(func() { ba.h.idx = grid.NewBoxIndex(ba.Boxes) })
+	return ba.h.idx
+}
+
+// Fingerprint returns the content hash identifying this exact box list.
+// Communication plans are keyed on fingerprints, so plans cached for one
+// grid generation can never be replayed against another (regrids produce
+// different boxes, hence different fingerprints).
+func (ba BoxArray) Fingerprint() uint64 {
+	if ba.h == nil {
+		return grid.FingerprintBoxes(ba.Boxes)
+	}
+	ba.h.fpOnce.Do(func() { ba.h.fp = grid.FingerprintBoxes(ba.Boxes) })
+	return ba.h.fp
 }
 
 // SingleBoxArray covers dom with one box, then splits it to respect
 // maxGridSize with blockingFactor alignment — exactly how AMReX builds the
 // level-0 grid set from amr.n_cell and amr.max_grid_size.
 func SingleBoxArray(dom grid.Box, maxGridSize, blockingFactor int) BoxArray {
-	return BoxArray{Boxes: dom.SplitMax(maxGridSize, blockingFactor)}
+	return NewBoxArray(dom.SplitMax(maxGridSize, blockingFactor))
 }
 
 // Len returns the number of boxes.
@@ -61,22 +102,25 @@ func (ba BoxArray) MinimalBox() grid.Box {
 
 // Contains reports whether cell p is covered by any box.
 func (ba BoxArray) Contains(p grid.IntVect) bool {
-	for _, b := range ba.Boxes {
-		if b.Contains(p) {
-			return true
-		}
-	}
-	return false
+	return ba.Index().Contains(p)
+}
+
+// Owner returns the lowest index of a box covering cell p, or -1.
+func (ba BoxArray) Owner(p grid.IntVect) int {
+	return ba.Index().Owner(p)
 }
 
 // ContainsBox reports whether box o is entirely covered by the union of
-// the array's boxes.
+// the array's boxes. Only boxes actually intersecting o are subtracted.
 func (ba BoxArray) ContainsBox(o grid.Box) bool {
+	if o.IsEmpty() {
+		return true
+	}
 	remaining := []grid.Box{o}
-	for _, b := range ba.Boxes {
+	for _, i := range ba.Index().Intersecting(o, nil) {
 		var next []grid.Box
 		for _, r := range remaining {
-			next = append(next, r.Difference(b)...)
+			next = append(next, r.Difference(ba.Boxes[i])...)
 		}
 		remaining = next
 		if len(remaining) == 0 {
@@ -87,13 +131,11 @@ func (ba BoxArray) ContainsBox(o grid.Box) bool {
 }
 
 // Intersections returns the indices and overlap boxes of all array boxes
-// intersecting b.
+// intersecting b, in ascending index order.
 func (ba BoxArray) Intersections(b grid.Box) []Intersection {
 	var out []Intersection
-	for i, ab := range ba.Boxes {
-		if isect := ab.Intersect(b); !isect.IsEmpty() {
-			out = append(out, Intersection{Index: i, Box: isect})
-		}
+	for _, i := range ba.Index().Intersecting(b, nil) {
+		out = append(out, Intersection{Index: i, Box: ba.Boxes[i].Intersect(b)})
 	}
 	return out
 }
@@ -110,7 +152,7 @@ func (ba BoxArray) Refine(ratio int) BoxArray {
 	for i, b := range ba.Boxes {
 		out[i] = b.Refine(ratio)
 	}
-	return BoxArray{Boxes: out}
+	return NewBoxArray(out)
 }
 
 // Coarsen maps every box to the coarser index space.
@@ -119,16 +161,19 @@ func (ba BoxArray) Coarsen(ratio int) BoxArray {
 	for i, b := range ba.Boxes {
 		out[i] = b.Coarsen(ratio)
 	}
-	return BoxArray{Boxes: out}
+	return NewBoxArray(out)
 }
 
 // Complement returns the parts of region not covered by the array.
 func (ba BoxArray) Complement(region grid.Box) []grid.Box {
+	if region.IsEmpty() {
+		return nil
+	}
 	remaining := []grid.Box{region}
-	for _, b := range ba.Boxes {
+	for _, i := range ba.Index().Intersecting(region, nil) {
 		var next []grid.Box
 		for _, r := range remaining {
-			next = append(next, r.Difference(b)...)
+			next = append(next, r.Difference(ba.Boxes[i])...)
 		}
 		remaining = next
 		if len(remaining) == 0 {
@@ -139,11 +184,18 @@ func (ba BoxArray) Complement(region grid.Box) []grid.Box {
 }
 
 // IsDisjoint verifies no two boxes overlap (an AMReX BoxArray invariant
-// for valid regions).
+// for valid regions). With the spatial index this is O(N) queries rather
+// than the former O(N^2) pair scan.
 func (ba BoxArray) IsDisjoint() bool {
-	for i := range ba.Boxes {
-		for j := i + 1; j < len(ba.Boxes); j++ {
-			if ba.Boxes[i].Intersects(ba.Boxes[j]) {
+	idx := ba.Index()
+	var scratch []int
+	for i, b := range ba.Boxes {
+		if b.IsEmpty() {
+			continue
+		}
+		scratch = idx.Intersecting(b, scratch[:0])
+		for _, j := range scratch {
+			if j != i {
 				return false
 			}
 		}

@@ -264,7 +264,7 @@ func abs(v int) int {
 // The result is disjoint and covers every (buffered) tag refined by ratio.
 func MakeFineBoxArray(tags *TagSet, levelDomain grid.Box, ratio, blockingFactor, maxGridSize int, gridEff float64, bufferCells int) BoxArray {
 	if tags.Len() == 0 {
-		return BoxArray{}
+		return NewBoxArray(nil)
 	}
 	buffered := tags.Buffer(bufferCells, levelDomain)
 	cbf := blockingFactor / ratio
@@ -282,5 +282,5 @@ func MakeFineBoxArray(tags *TagSet, levelDomain grid.Box, ratio, blockingFactor,
 		fb := lb.Refine(ratio)
 		fine = append(fine, fb.SplitMax(maxGridSize, blockingFactor)...)
 	}
-	return BoxArray{Boxes: fine}
+	return NewBoxArray(fine)
 }

@@ -2,7 +2,6 @@ package amr
 
 import (
 	"fmt"
-	"sort"
 
 	"amrproxyio/internal/grid"
 	"amrproxyio/internal/mpisim"
@@ -28,59 +27,37 @@ type ghostMsg struct {
 // WireBytes reports the payload size for mpisim traffic statistics.
 func (m ghostMsg) WireBytes() int { return 8 * len(m.Data) }
 
-// exchangePlan precomputes the overlap pairs once per (BoxArray, NGhost).
-type exchangePair struct {
-	srcIdx, dstIdx int
-	region         grid.Box
+// buildExchangePlan lists every (src valid, dst ghost) overlap in
+// deterministic (srcIdx, dstIdx) order. It is a cached-plan lookup: the
+// schedule is computed once per (BoxArray fingerprint, nghost) and
+// replayed on every subsequent exchange until a regrid changes the boxes.
+func buildExchangePlan(mf *MultiFab) []copyPair {
+	return fillBoundaryPlan(mf.BA, mf.NGhost).pairs
 }
 
-// buildExchangePlan lists every (src valid, dst ghost) overlap, in
-// deterministic order.
-func buildExchangePlan(mf *MultiFab) []exchangePair {
-	var pairs []exchangePair
-	for di, df := range mf.FABs {
-		for si, sf := range mf.FABs {
-			if si == di {
-				continue
-			}
-			overlap := df.DataBox.Intersect(sf.ValidBox)
-			if overlap.IsEmpty() {
-				continue
-			}
-			pairs = append(pairs, exchangePair{srcIdx: si, dstIdx: di, region: overlap})
-		}
-	}
-	sort.Slice(pairs, func(a, b int) bool {
-		if pairs[a].srcIdx != pairs[b].srcIdx {
-			return pairs[a].srcIdx < pairs[b].srcIdx
-		}
-		return pairs[a].dstIdx < pairs[b].dstIdx
-	})
-	return pairs
-}
-
-// packRegion serializes all components of a FAB over region.
-func packRegion(f *FAB, region grid.Box) []float64 {
-	out := make([]float64, 0, region.NumPts()*int64(f.NComp))
+// packRegion serializes all components of a FAB over region, appending to
+// buf (pass nil for a fresh allocation). Rows are moved with copy rather
+// than per-element At calls.
+func packRegion(f *FAB, region grid.Box, buf []float64) []float64 {
+	nx := region.Size().X
 	for c := 0; c < f.NComp; c++ {
 		for j := region.Lo.Y; j <= region.Hi.Y; j++ {
-			for i := region.Lo.X; i <= region.Hi.X; i++ {
-				out = append(out, f.At(i, j, c))
-			}
+			si := f.index(region.Lo.X, j, c)
+			buf = append(buf, f.Data[si:si+nx]...)
 		}
 	}
-	return out
+	return buf
 }
 
-// unpackRegion writes packed data into a FAB over region.
+// unpackRegion writes packed data into a FAB over region, row by row.
 func unpackRegion(f *FAB, region grid.Box, data []float64) {
+	nx := region.Size().X
 	vi := 0
 	for c := 0; c < f.NComp; c++ {
 		for j := region.Lo.Y; j <= region.Hi.Y; j++ {
-			for i := region.Lo.X; i <= region.Hi.X; i++ {
-				f.Set(i, j, c, data[vi])
-				vi++
-			}
+			di := f.index(region.Lo.X, j, c)
+			copy(f.Data[di:di+nx], data[vi:vi+nx])
+			vi += nx
 		}
 	}
 }
@@ -95,6 +72,15 @@ func (mf *MultiFab) FillBoundaryDistributed(world *mpisim.World) error {
 	owner := mf.DM.Owner
 	return world.Run(func(c *mpisim.Comm) error {
 		me := c.Rank()
+		// One backing buffer per rank, sized to its total send volume;
+		// each message gets a sub-slice instead of its own allocation.
+		var sendVol int64
+		for _, p := range pairs {
+			if owner[p.srcIdx] == me && owner[p.dstIdx] != me {
+				sendVol += p.region.NumPts() * int64(mf.NComp)
+			}
+		}
+		sendBuf := make([]float64, 0, sendVol)
 		// Phase 1: local copies and eager sends, in plan order.
 		for _, p := range pairs {
 			if owner[p.srcIdx] != me {
@@ -104,10 +90,12 @@ func (mf *MultiFab) FillBoundaryDistributed(world *mpisim.World) error {
 				mf.FABs[p.dstIdx].CopyFrom(mf.FABs[p.srcIdx], p.region)
 				continue
 			}
+			start := len(sendBuf)
+			sendBuf = packRegion(mf.FABs[p.srcIdx], p.region, sendBuf)
 			c.Send(owner[p.dstIdx], tagGhost, ghostMsg{
 				DstIdx: p.dstIdx,
 				Region: p.region,
-				Data:   packRegion(mf.FABs[p.srcIdx], p.region),
+				Data:   sendBuf[start:len(sendBuf):len(sendBuf)],
 			})
 		}
 		// Phase 2: receive everything destined for my boxes, per source

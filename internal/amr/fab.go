@@ -80,12 +80,20 @@ func (f *FAB) CopyFrom(src *FAB, region grid.Box) {
 	}
 }
 
-// MinMax returns the min and max of comp over the valid box.
+// row returns the contiguous valid-region row j of component comp as a
+// slice of the backing array.
+func (f *FAB) row(j, comp int) []float64 {
+	lo := f.index(f.ValidBox.Lo.X, j, comp)
+	return f.Data[lo : lo+f.ValidBox.Size().X]
+}
+
+// MinMax returns the min and max of comp over the valid box. The inner
+// loop ranges over contiguous row slices rather than computing a flat
+// offset per element.
 func (f *FAB) MinMax(comp int) (mn, mx float64) {
 	mn, mx = math.Inf(1), math.Inf(-1)
 	for j := f.ValidBox.Lo.Y; j <= f.ValidBox.Hi.Y; j++ {
-		for i := f.ValidBox.Lo.X; i <= f.ValidBox.Hi.X; i++ {
-			v := f.At(i, j, comp)
+		for _, v := range f.row(j, comp) {
 			if v < mn {
 				mn = v
 			}
@@ -97,12 +105,12 @@ func (f *FAB) MinMax(comp int) (mn, mx float64) {
 	return
 }
 
-// Sum returns the sum of comp over the valid box.
+// Sum returns the sum of comp over the valid box, row-sliced like MinMax.
 func (f *FAB) Sum(comp int) float64 {
 	var s float64
 	for j := f.ValidBox.Lo.Y; j <= f.ValidBox.Hi.Y; j++ {
-		for i := f.ValidBox.Lo.X; i <= f.ValidBox.Hi.X; i++ {
-			s += f.At(i, j, comp)
+		for _, v := range f.row(j, comp) {
+			s += v
 		}
 	}
 	return s

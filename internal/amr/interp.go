@@ -83,21 +83,22 @@ func InterpRegion(fine *FAB, crse *MultiFab, region grid.Box, ratio int, kind In
 
 // makeClampedLookup builds a coarseLookup over the MultiFab's valid+ghost
 // data, preferring valid data, then ghost data, then clamping to the
-// nearest covered cell.
+// nearest covered cell. The valid and ghost probes go through the spatial
+// indexes (both cached on the MultiFab), so a lookup is O(1); only the
+// rare clamp fallback — a point outside every data box, i.e. beyond the
+// physical boundary's ghost ring — scans the box list.
 func makeClampedLookup(mf *MultiFab) coarseLookup {
+	validIdx := mf.BA.Index()
+	dataIdx := mf.dataBoxIndex()
 	return func(i, j, comp int) float64 {
 		p := grid.IntVect{X: i, Y: j}
 		// Prefer a FAB whose valid box holds p.
-		for _, f := range mf.FABs {
-			if f.ValidBox.Contains(p) {
-				return f.At(i, j, comp)
-			}
+		if fi := validIdx.Owner(p); fi >= 0 {
+			return mf.FABs[fi].At(i, j, comp)
 		}
 		// Then ghost data.
-		for _, f := range mf.FABs {
-			if f.DataBox.Contains(p) {
-				return f.At(i, j, comp)
-			}
+		if fi := dataIdx.Owner(p); fi >= 0 {
+			return mf.FABs[fi].At(i, j, comp)
 		}
 		// Clamp to the nearest valid cell of the nearest box.
 		best := math.MaxInt64
@@ -134,12 +135,11 @@ func clamp(v, lo, hi int) int {
 // refined regions, as Castro does after each step.
 func AverageDown(crse, fine *MultiFab, ratio int) {
 	inv := 1.0 / float64(ratio*ratio)
-	crse.ForEachFAB(func(_ int, cf *FAB) {
-		for _, ff := range fine.FABs {
-			overlap := cf.ValidBox.Intersect(ff.ValidBox.Coarsen(ratio))
-			if overlap.IsEmpty() {
-				continue
-			}
+	plan := averageDownPlan(crse.BA, fine.BA, ratio)
+	crse.ForEachFAB(func(ci int, cf *FAB) {
+		for _, p := range plan.byDst[ci] {
+			ff := fine.FABs[p.srcIdx]
+			overlap := p.region
 			for c := 0; c < crse.NComp; c++ {
 				for j := overlap.Lo.Y; j <= overlap.Hi.Y; j++ {
 					for i := overlap.Lo.X; i <= overlap.Hi.X; i++ {
@@ -188,25 +188,16 @@ func FillOutflowBC(mf *MultiFab, domain grid.Box) {
 // first from same-level valid data, then from coarse interpolation where
 // no same-level data exists, and finally applies outflow physical BCs at
 // the domain edge. crse may be nil for level 0 (no interpolation source).
+// The coarse-region decomposition (data box minus every same-level valid
+// box) is plan-cached per grid generation instead of being recomputed by
+// an all-boxes subtraction on every call.
 func FillPatch(fine *MultiFab, crse *MultiFab, fineDomain grid.Box, ratio int, kind InterpKind) {
 	// Same-level exchange covers the interior ghost regions.
 	fine.FillBoundary()
 	if crse != nil {
+		plan := fillPatchCoarsePlan(fine.BA, fine.NGhost, fineDomain)
 		fine.ForEachFAB(func(di int, df *FAB) {
-			// Region needing coarse data: data box minus all fine valid
-			// boxes, clipped to the domain.
-			needed := []grid.Box{df.DataBox.Intersect(fineDomain)}
-			for _, vb := range fine.BA.Boxes {
-				var next []grid.Box
-				for _, r := range needed {
-					next = append(next, r.Difference(vb)...)
-				}
-				needed = next
-				if len(needed) == 0 {
-					break
-				}
-			}
-			for _, r := range needed {
+			for _, r := range plan.byDst[di] {
 				InterpRegion(df, crse, r, ratio, kind)
 			}
 		})

@@ -19,6 +19,11 @@ type MultiFab struct {
 	NComp  int
 	NGhost int
 	FABs   []*FAB
+
+	// dataIdx is the lazily-built spatial index over the FABs' data boxes
+	// (valid grown by NGhost); the valid-region index lives on BA itself.
+	dataIdxOnce sync.Once
+	dataIdx     *grid.BoxIndex
 }
 
 // NewMultiFab allocates one FAB per box.
@@ -26,12 +31,30 @@ func NewMultiFab(ba BoxArray, dm DistributionMapping, ncomp, nghost int) *MultiF
 	if len(dm.Owner) != ba.Len() {
 		panic(fmt.Sprintf("amr: distribution mapping has %d owners for %d boxes", len(dm.Owner), ba.Len()))
 	}
+	if ba.h == nil {
+		// Arrays assembled without NewBoxArray (checkpoint loads) get a
+		// cache slot here so every downstream query is indexed.
+		ba = NewBoxArray(ba.Boxes)
+	}
 	mf := &MultiFab{BA: ba, DM: dm, NComp: ncomp, NGhost: nghost}
 	mf.FABs = make([]*FAB, ba.Len())
 	for i, b := range ba.Boxes {
 		mf.FABs[i] = NewFAB(b, ncomp, nghost)
 	}
 	return mf
+}
+
+// dataBoxIndex returns the index over grown (valid+ghost) boxes, built on
+// first use. The box set of a MultiFab is immutable after construction.
+func (mf *MultiFab) dataBoxIndex() *grid.BoxIndex {
+	mf.dataIdxOnce.Do(func() {
+		boxes := make([]grid.Box, len(mf.FABs))
+		for i, f := range mf.FABs {
+			boxes[i] = f.DataBox
+		}
+		mf.dataIdx = grid.NewBoxIndex(boxes)
+	})
+	return mf.dataIdx
 }
 
 // ForEachFAB runs fn over every FAB in parallel using a worker pool. fn
@@ -78,80 +101,87 @@ func (mf *MultiFab) FillConst(comp int, v float64) {
 // FillBoundary copies valid data into the ghost cells of neighboring FABs
 // on the same level. Ghost regions not covered by any valid box (physical
 // boundaries or coarse-fine boundaries) are left untouched; FillPatch and
-// the physical BC fill handle those.
+// the physical BC fill handle those. The copy schedule comes from the plan
+// cache, so after the first call per grid generation this is a pure replay
+// with no neighbor search at all.
 func (mf *MultiFab) FillBoundary() {
+	plan := fillBoundaryPlan(mf.BA, mf.NGhost)
 	mf.ForEachFAB(func(di int, dst *FAB) {
-		ghostRegion := dst.DataBox
-		for si, src := range mf.FABs {
-			if si == di {
-				continue
-			}
-			overlap := ghostRegion.Intersect(src.ValidBox)
-			if overlap.IsEmpty() {
-				continue
-			}
-			dst.CopyFrom(src, overlap)
+		for _, p := range plan.byDst[di] {
+			dst.CopyFrom(mf.FABs[p.srcIdx], p.region)
 		}
 	})
 }
 
-// Min and Max reduce a component over all valid regions.
-func (mf *MultiFab) Min(comp int) float64 {
-	mn := mf.FABs[0].Data[mf.FABs[0].index(mf.FABs[0].ValidBox.Lo.X, mf.FABs[0].ValidBox.Lo.Y, comp)]
-	for _, f := range mf.FABs {
-		m, _ := f.MinMax(comp)
-		if m < mn {
-			mn = m
+// MinMax reduces both extrema of a component over all valid regions with
+// one parallel pass. Panics on an empty MultiFab: there is no identity
+// element a caller could sensibly receive.
+func (mf *MultiFab) MinMax(comp int) (mn, mx float64) {
+	if len(mf.FABs) == 0 {
+		panic("amr: MinMax on MultiFab with no FABs")
+	}
+	partial := make([][2]float64, len(mf.FABs))
+	mf.ForEachFAB(func(i int, f *FAB) {
+		partial[i][0], partial[i][1] = f.MinMax(comp)
+	})
+	mn, mx = partial[0][0], partial[0][1]
+	for _, p := range partial[1:] {
+		if p[0] < mn {
+			mn = p[0]
+		}
+		if p[1] > mx {
+			mx = p[1]
 		}
 	}
+	return mn, mx
+}
+
+// Min reduces the minimum of a component over all valid regions.
+func (mf *MultiFab) Min(comp int) float64 {
+	mn, _ := mf.MinMax(comp)
 	return mn
 }
 
 // Max reduces the maximum of a component over all valid regions.
 func (mf *MultiFab) Max(comp int) float64 {
-	_, mx := mf.FABs[0].MinMax(comp)
-	for _, f := range mf.FABs[1:] {
-		_, m := f.MinMax(comp)
-		if m > mx {
-			mx = m
-		}
-	}
+	_, mx := mf.MinMax(comp)
 	return mx
 }
 
-// Sum reduces the sum of a component over all valid regions.
+// Sum reduces the sum of a component over all valid regions. Per-FAB sums
+// run in parallel; the combine is serial in box order, so the result is
+// deterministic run to run.
 func (mf *MultiFab) Sum(comp int) float64 {
+	partial := make([]float64, len(mf.FABs))
+	mf.ForEachFAB(func(i int, f *FAB) { partial[i] = f.Sum(comp) })
 	var s float64
-	for _, f := range mf.FABs {
-		s += f.Sum(comp)
+	for _, v := range partial {
+		s += v
 	}
 	return s
 }
 
-// ValueAt returns component comp at cell p, searching the box that owns p.
-// ok is false if p is not covered by the valid region.
+// ValueAt returns component comp at cell p, via the spatial index over the
+// valid region. ok is false if p is not covered by the valid region.
 func (mf *MultiFab) ValueAt(p grid.IntVect, comp int) (v float64, ok bool) {
-	for _, f := range mf.FABs {
-		if f.ValidBox.Contains(p) {
-			return f.At(p.X, p.Y, comp), true
-		}
+	if i := mf.BA.Owner(p); i >= 0 {
+		return mf.FABs[i].At(p.X, p.Y, comp), true
 	}
 	return 0, false
 }
 
 // CopyInto copies the overlapping valid data of src (same index space)
 // into dst's valid+ghost regions. Used when swapping hierarchies after a
-// regrid.
+// regrid. The overlap schedule is plan-cached on both arrays'
+// fingerprints.
 func (mf *MultiFab) CopyInto(dst *MultiFab) {
 	if mf.NComp != dst.NComp {
 		panic("amr: CopyInto component mismatch")
 	}
-	dst.ForEachFAB(func(_ int, df *FAB) {
-		for _, sf := range mf.FABs {
-			overlap := df.DataBox.Intersect(sf.ValidBox)
-			if !overlap.IsEmpty() {
-				df.CopyFrom(sf, overlap)
-			}
+	plan := copyIntoPlan(mf.BA, dst.BA, dst.NGhost)
+	dst.ForEachFAB(func(di int, df *FAB) {
+		for _, p := range plan.byDst[di] {
+			df.CopyFrom(mf.FABs[p.srcIdx], p.region)
 		}
 	})
 }

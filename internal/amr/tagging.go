@@ -56,5 +56,5 @@ func EnforceNesting(fine BoxArray, parent BoxArray, ratio int) BoxArray {
 			out = append(out, isect.Box)
 		}
 	}
-	return BoxArray{Boxes: out}
+	return NewBoxArray(out)
 }

@@ -3,6 +3,7 @@ package sim
 import (
 	"fmt"
 
+	"amrproxyio/internal/amr"
 	"amrproxyio/internal/hydro"
 	"amrproxyio/internal/inputs"
 	"amrproxyio/internal/iosim"
@@ -77,8 +78,10 @@ func Restore(dir string, cfg inputs.CastroInputs, opts Options, fs *iosim.FileSy
 	for _, lev := range rs.Levels {
 		state := plotfile.FillMultiFabFromRestart(lev, hydro.NCons, nGhost)
 		s.Levels = append(s.Levels, &Level{
-			Geom:  lev.Geom,
-			BA:    lev.BA,
+			Geom: lev.Geom,
+			// The restart reader assembles Boxes directly; re-wrap so the
+			// level carries a cached spatial index like a live hierarchy.
+			BA:    amr.NewBoxArray(lev.BA.Boxes),
 			DM:    lev.DM,
 			State: state,
 		})

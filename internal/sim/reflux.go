@@ -20,32 +20,36 @@ import (
 // and the mirror sign for a LEFT-face boundary (similarly in y).
 
 // refluxX applies the x-direction correction between levels l and l+1,
-// given both levels' captured flux fields (indexed like the FABs).
+// given both levels' captured flux fields (indexed like the FABs). The
+// covered-cell test and the fine-flux owner search both go through spatial
+// indexes built once per call, so the per-cell work is O(1) instead of a
+// scan over every fine box.
 func (s *Sim) refluxX(l int, dt float64, crseFlux, fineFlux []*hydro.FluxField) {
 	crse, fine := s.Levels[l], s.Levels[l+1]
 	ratio := s.Cfg.RefRatioAt(l)
-	covered := fine.BA.Coarsen(ratio)
+	coveredIdx := fine.BA.Coarsen(ratio).Index()
+	fineIdx := fine.BA.Index()
 	dx := crse.Geom.CellSize[0]
 
 	for ci, cf := range crse.State.FABs {
 		vb := cf.ValidBox
 		for j := vb.Lo.Y; j <= vb.Hi.Y; j++ {
 			for i := vb.Lo.X; i <= vb.Hi.X; i++ {
-				if covered.Contains(grid.IV(i, j)) {
+				if coveredIdx.Contains(grid.IV(i, j)) {
 					continue // under the fine level; average-down owns it
 				}
 				// Right face adjacent to fine region.
-				if i+1 <= crse.Geom.Domain.Hi.X && covered.Contains(grid.IV(i+1, j)) {
+				if i+1 <= crse.Geom.Domain.Hi.X && coveredIdx.Contains(grid.IV(i+1, j)) {
 					fc := crseFlux[ci].AtX(i+1, j)
-					ffAvg, ok := s.fineXFaceAvg(fine, fineFlux, (i+1)*ratio, j, ratio)
+					ffAvg, ok := fineXFaceAvg(fineIdx, fineFlux, (i+1)*ratio, j, ratio)
 					if ok {
 						applyCorrection(cf, i, j, dt/dx, sub(fc, ffAvg))
 					}
 				}
 				// Left face adjacent to fine region.
-				if i-1 >= crse.Geom.Domain.Lo.X && covered.Contains(grid.IV(i-1, j)) {
+				if i-1 >= crse.Geom.Domain.Lo.X && coveredIdx.Contains(grid.IV(i-1, j)) {
 					fc := crseFlux[ci].AtX(i, j)
-					ffAvg, ok := s.fineXFaceAvg(fine, fineFlux, i*ratio, j, ratio)
+					ffAvg, ok := fineXFaceAvg(fineIdx, fineFlux, i*ratio, j, ratio)
 					if ok {
 						applyCorrection(cf, i, j, dt/dx, sub(ffAvg, fc))
 					}
@@ -59,26 +63,27 @@ func (s *Sim) refluxX(l int, dt float64, crseFlux, fineFlux []*hydro.FluxField) 
 func (s *Sim) refluxY(l int, dt float64, crseFlux, fineFlux []*hydro.FluxField) {
 	crse, fine := s.Levels[l], s.Levels[l+1]
 	ratio := s.Cfg.RefRatioAt(l)
-	covered := fine.BA.Coarsen(ratio)
+	coveredIdx := fine.BA.Coarsen(ratio).Index()
+	fineIdx := fine.BA.Index()
 	dy := crse.Geom.CellSize[1]
 
 	for ci, cf := range crse.State.FABs {
 		vb := cf.ValidBox
 		for j := vb.Lo.Y; j <= vb.Hi.Y; j++ {
 			for i := vb.Lo.X; i <= vb.Hi.X; i++ {
-				if covered.Contains(grid.IV(i, j)) {
+				if coveredIdx.Contains(grid.IV(i, j)) {
 					continue
 				}
-				if j+1 <= crse.Geom.Domain.Hi.Y && covered.Contains(grid.IV(i, j+1)) {
+				if j+1 <= crse.Geom.Domain.Hi.Y && coveredIdx.Contains(grid.IV(i, j+1)) {
 					fc := crseFlux[ci].AtY(i, j+1)
-					ffAvg, ok := s.fineYFaceAvg(fine, fineFlux, i, (j+1)*ratio, ratio)
+					ffAvg, ok := fineYFaceAvg(fineIdx, fineFlux, i, (j+1)*ratio, ratio)
 					if ok {
 						applyCorrection(cf, i, j, dt/dy, sub(fc, ffAvg))
 					}
 				}
-				if j-1 >= crse.Geom.Domain.Lo.Y && covered.Contains(grid.IV(i, j-1)) {
+				if j-1 >= crse.Geom.Domain.Lo.Y && coveredIdx.Contains(grid.IV(i, j-1)) {
 					fc := crseFlux[ci].AtY(i, j)
-					ffAvg, ok := s.fineYFaceAvg(fine, fineFlux, i, j*ratio, ratio)
+					ffAvg, ok := fineYFaceAvg(fineIdx, fineFlux, i, j*ratio, ratio)
 					if ok {
 						applyCorrection(cf, i, j, dt/dy, sub(ffAvg, fc))
 					}
@@ -88,18 +93,37 @@ func (s *Sim) refluxY(l int, dt float64, crseFlux, fineFlux []*hydro.FluxField) 
 	}
 }
 
+// fineFaceOwner resolves which flux field holds an x- or y-face. A face at
+// fine coordinate k separates cells k-1 and k along its direction, so its
+// owner is whichever fine box contains either adjacent cell; when both
+// sides are covered the lower box index wins, matching the historical
+// first-hit-of-a-linear-scan behavior exactly.
+func fineFaceOwner(fineIdx *grid.BoxIndex, a, b grid.IntVect) int {
+	oa, ob := fineIdx.Owner(a), fineIdx.Owner(b)
+	switch {
+	case oa < 0:
+		return ob
+	case ob < 0:
+		return oa
+	case oa < ob:
+		return oa
+	default:
+		return ob
+	}
+}
+
 // fineXFaceAvg averages the ratio fine x-fluxes across the coarse face at
 // fine face coordinate fx, coarse row j.
-func (s *Sim) fineXFaceAvg(fine *Level, fineFlux []*hydro.FluxField, fx, j, ratio int) (hydro.Cons, bool) {
+func fineXFaceAvg(fineIdx *grid.BoxIndex, fineFlux []*hydro.FluxField, fx, j, ratio int) (hydro.Cons, bool) {
 	var sum hydro.Cons
 	found := 0
 	for fj := j * ratio; fj < (j+1)*ratio; fj++ {
-		for fi := range fine.State.FABs {
+		fi := fineFaceOwner(fineIdx, grid.IV(fx-1, fj), grid.IV(fx, fj))
+		if fi >= 0 {
 			ff := fineFlux[fi]
 			if ff != nil && ff.ContainsXFace(fx, fj) {
 				sum = add(sum, ff.AtX(fx, fj))
 				found++
-				break
 			}
 		}
 	}
@@ -112,16 +136,16 @@ func (s *Sim) fineXFaceAvg(fine *Level, fineFlux []*hydro.FluxField, fx, j, rati
 
 // fineYFaceAvg averages the ratio fine y-fluxes across the coarse face at
 // coarse column i, fine face coordinate fy.
-func (s *Sim) fineYFaceAvg(fine *Level, fineFlux []*hydro.FluxField, i, fy, ratio int) (hydro.Cons, bool) {
+func fineYFaceAvg(fineIdx *grid.BoxIndex, fineFlux []*hydro.FluxField, i, fy, ratio int) (hydro.Cons, bool) {
 	var sum hydro.Cons
 	found := 0
 	for fi2 := i * ratio; fi2 < (i+1)*ratio; fi2++ {
-		for fbi := range fine.State.FABs {
+		fbi := fineFaceOwner(fineIdx, grid.IV(fi2, fy-1), grid.IV(fi2, fy))
+		if fbi >= 0 {
 			ff := fineFlux[fbi]
 			if ff != nil && ff.ContainsYFace(fi2, fy) {
 				sum = add(sum, ff.AtY(fi2, fy))
 				found++
-				break
 			}
 		}
 	}

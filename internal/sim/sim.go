@@ -176,9 +176,15 @@ func (s *Sim) ComputeDt() float64 {
 	minDt := math.Inf(1)
 	for _, lev := range s.Levels {
 		dx, dy := lev.Geom.CellSize[0], lev.Geom.CellSize[1]
-		for _, f := range lev.State.FABs {
+		// Per-FAB signal-speed scans run in parallel; the min-reduction is
+		// serial in box order, so dt stays deterministic.
+		sums := make([]float64, len(lev.State.FABs))
+		lev.State.ForEachFAB(func(i int, f *amr.FAB) {
 			sx, sy := hydro.MaxSignalSpeed(f, dx, dy, g)
-			if sum := sx + sy; sum > 0 {
+			sums[i] = sx + sy
+		})
+		for _, sum := range sums {
+			if sum > 0 {
 				if dt := s.Cfg.CFL / sum; dt < minDt {
 					minDt = dt
 				}
@@ -386,7 +392,7 @@ func (s *Sim) PlotSpec() plotfile.Spec {
 func (s *Sim) derivePlotData(lev *Level) *amr.MultiFab {
 	g := s.Opts.Blast.Gamma
 	out := amr.NewMultiFab(lev.BA, lev.DM, len(PlotVarNames), 0)
-	for idx, of := range out.FABs {
+	out.ForEachFAB(func(idx int, of *amr.FAB) {
 		sf := lev.State.FABs[idx]
 		for j := of.ValidBox.Lo.Y; j <= of.ValidBox.Hi.Y; j++ {
 			for i := of.ValidBox.Lo.X; i <= of.ValidBox.Hi.X; i++ {
@@ -410,7 +416,7 @@ func (s *Sim) derivePlotData(lev *Level) *amr.MultiFab {
 				of.Set(i, j, 9, cs)
 			}
 		}
-	}
+	})
 	return out
 }
 
