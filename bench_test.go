@@ -10,9 +10,11 @@
 package amrproxyio_test
 
 import (
+	"runtime"
 	"strings"
 	"sync"
 	"testing"
+	"time"
 
 	"amrproxyio/internal/amr"
 	"amrproxyio/internal/campaign"
@@ -702,6 +704,83 @@ func BenchmarkPlotfileWrite(b *testing.B) {
 		}
 		b.SetBytes(plotfile.TotalBytes(recs))
 	}
+}
+
+// BenchmarkCampaignExecutor compares the serial loop against the
+// worker-pool executor on a 12-case slice of the quick campaign and
+// reports the parallel speedup (acceptance: > 1 at parallelism >= 4 on a
+// multicore host). Ledger identity between the two runs is asserted every
+// iteration.
+func BenchmarkCampaignExecutor(b *testing.B) {
+	cases := campaign.QuickCampaign()[:12]
+	newFS := func(campaign.Case) *iosim.FileSystem {
+		cfg := iosim.DefaultConfig()
+		cfg.JitterSigma = 0
+		return iosim.New(cfg, "")
+	}
+	for i := 0; i < b.N; i++ {
+		t0 := time.Now()
+		serial, err := campaign.RunAll(cases, 1, newFS)
+		if err != nil {
+			b.Fatal(err)
+		}
+		serialWall := time.Since(t0)
+
+		t0 = time.Now()
+		parallel, err := campaign.RunAll(cases, 4, newFS)
+		if err != nil {
+			b.Fatal(err)
+		}
+		parallelWall := time.Since(t0)
+
+		for c := range cases {
+			if len(serial[c].Records) != len(parallel[c].Records) {
+				b.Fatalf("%s: ledger diverged under parallel execution", cases[c].Name)
+			}
+			for j := range serial[c].Records {
+				if serial[c].Records[j] != parallel[c].Records[j] {
+					b.Fatalf("%s: record %d diverged under parallel execution", cases[c].Name, j)
+				}
+			}
+		}
+		speedup := serialWall.Seconds() / parallelWall.Seconds()
+		// Campaign cases are CPU-bound, so wall-clock speedup needs real
+		// cores; on single-core hosts the executor can only tie the
+		// serial loop. Gate where the hardware can express the win.
+		if runtime.NumCPU() >= 4 && speedup <= 1.1 {
+			b.Fatalf("parallel executor speedup %.2fx on %d cores, want > 1.1x", speedup, runtime.NumCPU())
+		}
+		b.ReportMetric(serialWall.Seconds(), "serial-s")
+		b.ReportMetric(parallelWall.Seconds(), "parallel-s")
+		b.ReportMetric(speedup, "speedup-x")
+	}
+}
+
+// BenchmarkShardedFilesystem drives 64 concurrent rank goroutines through
+// one FileSystem — the mpisim write pattern — measuring ledger-append
+// throughput of the sharded hot path.
+func BenchmarkShardedFilesystem(b *testing.B) {
+	const ranks, writes = 64, 200
+	for i := 0; i < b.N; i++ {
+		fs := benchFS()
+		fs.BeginBurst(ranks)
+		var wg sync.WaitGroup
+		for r := 0; r < ranks; r++ {
+			wg.Add(1)
+			go func(rank int) {
+				defer wg.Done()
+				for w := 0; w < writes; w++ {
+					fs.WriteSize(rank, "plt/Cell_D", 1<<20, iosim.Labels{Step: w})
+				}
+			}(r)
+		}
+		wg.Wait()
+		fs.EndBurst()
+		if got := len(fs.Ledger()); got != ranks*writes {
+			b.Fatalf("ledger len = %d", got)
+		}
+	}
+	b.ReportMetric(float64(ranks*writes)*float64(b.N)/b.Elapsed().Seconds(), "writes/s")
 }
 
 // BenchmarkHydroStep measures the solver's per-step cost on a 128^2 box.

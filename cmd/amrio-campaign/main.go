@@ -4,11 +4,15 @@
 //
 // Usage:
 //
-//	amrio-campaign [-quick] [-filter case4] [-outdir results/]
+//	amrio-campaign [-quick] [-filter case4] [-outdir results/] [-parallel N]
 //
 // -quick (default) runs the campaign scaled for minutes-scale execution;
 // -quick=false runs paper-scale cases (hours; Summit-scale cases still use
-// the metadata-only surrogate and remain fast).
+// the metadata-only surrogate and remain fast). Cases are independent —
+// each owns a private simulated filesystem — so the sweep runs on a
+// worker pool: -parallel N caps the workers (default: all cores; 1
+// reproduces the serial executor). Ledgers and results are identical at
+// any parallelism; only wall-clock changes.
 package main
 
 import (
@@ -34,11 +38,12 @@ func run() error {
 	quick := flag.Bool("quick", true, "run the scaled-down campaign")
 	filter := flag.String("filter", "", "only run cases whose name contains this substring")
 	outdir := flag.String("outdir", "", "save per-case result JSONs here")
+	parallel := flag.Int("parallel", 0, "worker-pool size (0 = all cores, 1 = serial)")
 	flag.Parse()
 
-	cases := campaign.PaperCampaign()
+	all := campaign.PaperCampaign()
 	if *quick {
-		cases = campaign.QuickCampaign()
+		all = campaign.QuickCampaign()
 	}
 	if *outdir != "" {
 		if err := os.MkdirAll(*outdir, 0o755); err != nil {
@@ -46,17 +51,21 @@ func run() error {
 		}
 	}
 
-	var results []campaign.Result
-	for _, c := range cases {
-		if *filter != "" && !strings.Contains(c.Name, *filter) {
-			continue
+	var cases []campaign.Case
+	for _, c := range all {
+		if *filter == "" || strings.Contains(c.Name, *filter) {
+			cases = append(cases, c)
 		}
-		fsCfg := iosim.DefaultConfig()
-		fs := iosim.New(fsCfg, "")
-		res, err := campaign.Run(c, fs)
-		if err != nil {
-			return fmt.Errorf("%s: %w", c.Name, err)
-		}
+	}
+
+	results, err := campaign.RunAll(cases, *parallel, func(campaign.Case) *iosim.FileSystem {
+		return iosim.New(iosim.DefaultConfig(), "")
+	})
+	if err != nil {
+		return err
+	}
+	for i, res := range results {
+		c := cases[i]
 		fmt.Printf("%-18s %-9s %9s in %8v (%d plots)\n",
 			c.Name, res.Engine, report.HumanBytes(res.TotalBytes()), res.Wall.Round(1e6), res.NPlots)
 		if *outdir != "" {
@@ -64,7 +73,6 @@ func run() error {
 				return err
 			}
 		}
-		results = append(results, res)
 	}
 	fmt.Println()
 	fmt.Println(report.TableIII(results))

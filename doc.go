@@ -23,6 +23,18 @@
 // campaigns scale to thousands-of-boxes Summit-class decompositions with
 // per-step cost linear, not quadratic, in box count.
 //
+// The I/O pipeline is parallel end to end, mirroring the workload it
+// models. The iosim ledger is sharded by rank — each simulated rank
+// appends to a private segment and clock with no shared lock, and burst
+// contention is an atomic bandwidth snapshot taken at BeginBurst — so
+// write throughput scales with rank goroutines. The plotfile encoders
+// are allocation-frugal (one exact-size buffer per Cell_D file, strconv
+// builders for ASCII metadata, byte-identical to the original encoders
+// by pinned equivalence tests), the mpisim mailbox buckets pending
+// messages by (src, tag) for O(1) receive matching, and campaign.RunAll
+// executes independent sweep cases on a worker pool with ledgers
+// identical to the serial loop.
+//
 // Layout:
 //
 //	internal/grid      index-space geometry (boxes, Morton codes,

@@ -87,6 +87,11 @@ func (f *FAB) row(j, comp int) []float64 {
 	return f.Data[lo : lo+f.ValidBox.Size().X]
 }
 
+// Row exposes the contiguous valid-region row j of component comp (no
+// ghosts) as a slice of the backing array. Serializers iterate rows
+// instead of calling At per cell; the slice must not be resized.
+func (f *FAB) Row(j, comp int) []float64 { return f.row(j, comp) }
+
 // MinMax returns the min and max of comp over the valid box. The inner
 // loop ranges over contiguous row slices rather than computing a flat
 // offset per element.

@@ -8,12 +8,21 @@
 // (internal/surrogate) at Summit scale — with the same meshing and I/O
 // pipeline either way. Results carry the full Eq. (2) output ledger and
 // serialize to JSON for the reporting and benchmark layers.
+//
+// Cases are independent — each owns a private iosim.FileSystem, and the
+// solver, surrogate, and plotfile writer share no mutable state across
+// runs — so RunAll executes the sweep on a worker pool, one worker per
+// core by default, producing results (and ledgers) identical to the
+// serial loop in case order.
 package campaign
 
 import (
 	"encoding/json"
+	"errors"
 	"fmt"
 	"os"
+	"runtime"
+	"sync"
 	"time"
 
 	"amrproxyio/internal/core"
@@ -74,9 +83,11 @@ func (c Case) Inputs() inputs.CastroInputs {
 	return cfg
 }
 
-// engineFor resolves EngineAuto.
+// engineFor resolves EngineAuto (and the empty string). Any other engine
+// name passes through unchanged so Run can reject typos instead of
+// silently auto-resolving them.
 func (c Case) engineFor() Engine {
-	if c.Engine == EngineHydro || c.Engine == EngineSurrogate {
+	if c.Engine != EngineAuto && c.Engine != "" {
 		return c.Engine
 	}
 	if c.NCell <= HydroCellLimit {
@@ -158,6 +169,50 @@ func Run(c Case, fs *iosim.FileSystem) (Result, error) {
 	}
 	res.Wall = time.Since(start)
 	return res, nil
+}
+
+// RunAll executes cases concurrently on up to parallelism workers and
+// returns one Result per case, in case order. Each case gets its own
+// FileSystem from newFS (nil selects a fresh ModelOnly DefaultConfig
+// filesystem per case), so ledgers are isolated and the results —
+// records, plot counts, simulated times — are identical to running the
+// cases serially; only wall-clock changes. parallelism < 1 selects
+// GOMAXPROCS workers. All cases run even if some fail; the returned
+// error joins every per-case failure.
+func RunAll(cases []Case, parallelism int, newFS func(Case) *iosim.FileSystem) ([]Result, error) {
+	if len(cases) == 0 {
+		return nil, nil
+	}
+	if parallelism < 1 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > len(cases) {
+		parallelism = len(cases)
+	}
+	if newFS == nil {
+		newFS = func(Case) *iosim.FileSystem {
+			return iosim.New(iosim.DefaultConfig(), "")
+		}
+	}
+	results := make([]Result, len(cases))
+	errs := make([]error, len(cases))
+	next := make(chan int)
+	var wg sync.WaitGroup
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				results[i], errs[i] = Run(cases[i], newFS(cases[i]))
+			}
+		}()
+	}
+	for i := range cases {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+	return results, errors.Join(errs...)
 }
 
 // Observation reduces a result to the feature tuple the predictive-sizing

@@ -21,6 +21,11 @@ type Characterization struct {
 	TotalWrites int
 	UniqueFiles int
 	Ranks       int
+	// DirOps counts directory-creation metadata records; they are kept
+	// out of the write-size distribution and file counts so data-file
+	// profiles stay comparable across writers that do and don't create
+	// directories (plotfile vs MACSio).
+	DirOps int
 
 	// Write-size distribution.
 	MinWrite, MaxWrite int64
@@ -54,6 +59,13 @@ func Characterize(records []WriteRecord) Characterization {
 	c.MinWrite = math.MaxInt64
 	var endMax float64
 	for _, r := range records {
+		if end := r.Start + r.Duration; end > endMax {
+			endMax = end
+		}
+		if r.Dir {
+			c.DirOps++
+			continue
+		}
 		c.TotalBytes += r.Bytes
 		c.TotalWrites++
 		files[r.Path] = true
@@ -66,12 +78,13 @@ func Characterize(records []WriteRecord) Characterization {
 			c.MaxWrite = r.Bytes
 		}
 		c.SizeHistogram[sizeBucket(r.Bytes)]++
-		if end := r.Start + r.Duration; end > endMax {
-			endMax = end
-		}
 	}
 	c.UniqueFiles = len(files)
 	c.Ranks = len(ranks)
+	if c.TotalWrites == 0 {
+		c.MinWrite = 0
+		return c
+	}
 	c.MeanWrite = float64(c.TotalBytes) / float64(c.TotalWrites)
 	sort.Slice(sizes, func(i, j int) bool { return sizes[i] < sizes[j] })
 	c.P50Write = sizes[len(sizes)/2]
@@ -144,6 +157,7 @@ func (c Characterization) Render() string {
 	fmt.Fprintf(&sb, "  total bytes      : %d\n", c.TotalBytes)
 	fmt.Fprintf(&sb, "  write ops        : %d across %d files, %d ranks\n",
 		c.TotalWrites, c.UniqueFiles, c.Ranks)
+	fmt.Fprintf(&sb, "  metadata ops     : %d directory creations\n", c.DirOps)
 	fmt.Fprintf(&sb, "  write size       : min %d  p50 %d  mean %.0f  p95 %d  max %d\n",
 		c.MinWrite, c.P50Write, c.MeanWrite, c.P95Write, c.MaxWrite)
 	fmt.Fprintf(&sb, "  rank imbalance   : %.3f (max/mean)\n", c.RankImbalance)

@@ -13,16 +13,30 @@
 //     round-trip tests and external tooling can read it.
 //   - Both timing models apply identically; the backend only controls
 //     materialization.
+//
+// # Sharded ledger architecture
+//
+// The FileSystem is written to concurrently by every simulated rank
+// goroutine of an mpisim SPMD program, so its hot path is sharded by
+// rank: each rank owns a private ledger segment and clock, guarded by a
+// per-shard mutex that is uncontended in SPMD use (only rank r's
+// goroutine writes through rank r). No global lock is taken per write.
+// Burst contention is a bandwidth snapshot taken once at BeginBurst and
+// read atomically by every write, instead of a shared-lock acquisition
+// per write. Ledger, TotalBytes and Clock merge or read the shards on
+// demand; the merged ledger order is deterministic — ascending rank,
+// then each rank's program order — regardless of goroutine scheduling.
 package iosim
 
 import (
 	"fmt"
-	"hash/fnv"
 	"math"
 	"os"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"sync"
+	"sync/atomic"
 )
 
 // Backend selects whether writes are materialized on the host filesystem.
@@ -84,56 +98,56 @@ type WriteRecord struct {
 	Start    float64 // simulated seconds since FileSystem creation
 	Duration float64 // simulated seconds
 	Labels   Labels
+	// Dir marks a zero-byte directory-creation (metadata) record, so
+	// file-count audits can separate data files from directories.
+	Dir bool
+}
+
+// shard is one rank's private slice of the filesystem state. Its mutex is
+// uncontended on the hot path (a rank's writes come from that rank's
+// goroutine); it exists so merges and cross-rank reads are race-free.
+type shard struct {
+	mu      sync.Mutex
+	records []WriteRecord
+	bytes   int64
+	clock   float64
 }
 
 // FileSystem is the simulated parallel filesystem. It is safe for
-// concurrent use by many rank goroutines.
+// concurrent use by many rank goroutines; see the package comment for the
+// sharding design.
 type FileSystem struct {
-	cfg Config
+	cfg  Config
+	root string
 
-	mu          sync.Mutex
-	records     []WriteRecord
-	rankClock   map[int]float64
-	burstActive int // writers declared for the current burst
-	root        string
+	// burstBW holds math.Float64bits of the per-writer bandwidth under
+	// the current contention state, snapshotted at BeginBurst/EndBurst.
+	burstBW atomic.Uint64
+
+	// shards[rank] is rank's ledger segment. The slice only grows;
+	// growth happens under growMu with copy-on-write publication so the
+	// hot path is a single atomic pointer load.
+	shards atomic.Pointer[[]*shard]
+	growMu sync.Mutex
 }
 
 // New creates a filesystem with the given model configuration. root is the
 // host directory used when Backend == RealDisk (ignored for ModelOnly, but
 // still recorded for path bookkeeping).
 func New(cfg Config, root string) *FileSystem {
-	return &FileSystem{cfg: cfg, rankClock: map[int]float64{}, root: root}
+	fs := &FileSystem{cfg: cfg, root: root}
+	empty := []*shard{}
+	fs.shards.Store(&empty)
+	fs.burstBW.Store(math.Float64bits(snapshotBandwidth(cfg, 0)))
+	return fs
 }
 
-// Root returns the host root directory.
-func (fs *FileSystem) Root() string { return fs.root }
-
-// Config returns the model configuration.
-func (fs *FileSystem) Config() Config { return fs.cfg }
-
-// BeginBurst declares that n writers participate in the upcoming I/O burst.
-// The contention model divides the aggregate bandwidth among them. The
-// plotfile and MACSio writers call this once per dump with the number of
-// ranks that will write. EndBurst resets to uncontended mode.
-func (fs *FileSystem) BeginBurst(n int) {
-	fs.mu.Lock()
-	fs.burstActive = n
-	fs.mu.Unlock()
-}
-
-// EndBurst marks the end of the current burst.
-func (fs *FileSystem) EndBurst() {
-	fs.mu.Lock()
-	fs.burstActive = 0
-	fs.mu.Unlock()
-}
-
-// effectiveBandwidth returns the per-writer bandwidth under the current
-// contention state.
-func (fs *FileSystem) effectiveBandwidth() float64 {
-	bw := fs.cfg.PerWriterBandwidth
-	if fs.burstActive > 1 {
-		share := fs.cfg.AggregateBandwidth / float64(fs.burstActive)
+// snapshotBandwidth returns the per-writer bandwidth when writers ranks
+// contend for the shared backend (writers <= 1 means uncontended).
+func snapshotBandwidth(cfg Config, writers int) float64 {
+	bw := cfg.PerWriterBandwidth
+	if writers > 1 {
+		share := cfg.AggregateBandwidth / float64(writers)
 		if share < bw {
 			bw = share
 		}
@@ -144,18 +158,99 @@ func (fs *FileSystem) effectiveBandwidth() float64 {
 	return bw
 }
 
-// jitter returns the deterministic lognormal factor for (rank, path).
+// Root returns the host root directory.
+func (fs *FileSystem) Root() string { return fs.root }
+
+// Config returns the model configuration.
+func (fs *FileSystem) Config() Config { return fs.cfg }
+
+// BeginBurst declares that n writers participate in the upcoming I/O burst.
+// The contention model divides the aggregate bandwidth among them; the
+// resulting per-writer share is snapshotted here and read atomically by
+// every write until EndBurst, so no write takes a shared lock. The
+// plotfile and MACSio writers call this once per dump with the number of
+// ranks that will write. EndBurst resets to uncontended mode.
+func (fs *FileSystem) BeginBurst(n int) {
+	fs.burstBW.Store(math.Float64bits(snapshotBandwidth(fs.cfg, n)))
+	fs.ensureShards(n)
+}
+
+// EndBurst marks the end of the current burst.
+func (fs *FileSystem) EndBurst() {
+	fs.burstBW.Store(math.Float64bits(snapshotBandwidth(fs.cfg, 0)))
+}
+
+// effectiveBandwidth returns the per-writer bandwidth under the current
+// contention snapshot.
+func (fs *FileSystem) effectiveBandwidth() float64 {
+	return math.Float64frombits(fs.burstBW.Load())
+}
+
+// shardFor returns rank's shard, growing the shard table if needed.
+func (fs *FileSystem) shardFor(rank int) *shard {
+	if s := *fs.shards.Load(); rank < len(s) {
+		return s[rank]
+	}
+	return fs.growShards(rank)
+}
+
+// ensureShards pre-grows the table so an n-rank burst never grows it from
+// the write path.
+func (fs *FileSystem) ensureShards(n int) {
+	if n > 0 {
+		fs.shardFor(n - 1)
+	}
+}
+
+func (fs *FileSystem) growShards(rank int) *shard {
+	fs.growMu.Lock()
+	defer fs.growMu.Unlock()
+	cur := *fs.shards.Load()
+	if rank < len(cur) {
+		return cur[rank]
+	}
+	n := 2 * len(cur)
+	if n <= rank {
+		n = rank + 1
+	}
+	next := make([]*shard, n)
+	copy(next, cur)
+	for i := len(cur); i < n; i++ {
+		next[i] = &shard{}
+	}
+	fs.shards.Store(&next)
+	return next[rank]
+}
+
+// jitter returns the deterministic lognormal factor for (rank, path). The
+// hash input is the FNV-1a digest of "<seed>|<rank>|<path>", computed
+// inline so the hot path allocates nothing.
 func (fs *FileSystem) jitter(rank int, path string) float64 {
 	if fs.cfg.JitterSigma == 0 {
 		return 1
 	}
-	h := fnv.New64a()
-	fmt.Fprintf(h, "%d|%d|%s", fs.cfg.Seed, rank, path)
-	u := h.Sum64()
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	var num [20]byte
+	for _, c := range strconv.AppendInt(num[:0], fs.cfg.Seed, 10) {
+		h = (h ^ uint64(c)) * prime64
+	}
+	h = (h ^ '|') * prime64
+	for _, c := range strconv.AppendInt(num[:0], int64(rank), 10) {
+		h = (h ^ uint64(c)) * prime64
+	}
+	h = (h ^ '|') * prime64
+	for i := 0; i < len(path); i++ {
+		h = (h ^ uint64(path[i])) * prime64
+	}
+	u := h
 	// Two uniforms from the hash bits -> one standard normal (Box-Muller).
 	u1 := (float64(u>>11) + 0.5) / float64(1<<53)
-	h.Write([]byte{0xA5})
-	u2 := (float64(h.Sum64()>>11) + 0.5) / float64(1<<53)
+	h = (h ^ 0xA5) * prime64
+	u2 := (float64(h>>11) + 0.5) / float64(1<<53)
 	z := math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
 	return math.Exp(fs.cfg.JitterSigma * z)
 }
@@ -177,6 +272,9 @@ func (fs *FileSystem) write(rank int, path string, nbytes int64, data []byte, la
 	if nbytes < 0 {
 		return 0, fmt.Errorf("iosim: negative write size %d for %s", nbytes, path)
 	}
+	if rank < 0 {
+		return 0, fmt.Errorf("iosim: negative rank %d for %s", rank, path)
+	}
 	if fs.cfg.Backend == RealDisk && data != nil {
 		full := filepath.Join(fs.root, path)
 		if err := os.MkdirAll(filepath.Dir(full), 0o755); err != nil {
@@ -187,74 +285,110 @@ func (fs *FileSystem) write(rank int, path string, nbytes int64, data []byte, la
 		}
 	}
 
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
 	bw := fs.effectiveBandwidth()
 	dur := (fs.cfg.OpenLatency + float64(nbytes)/bw) * fs.jitter(rank, path)
-	start := fs.rankClock[rank]
-	fs.rankClock[rank] = start + dur
-	fs.records = append(fs.records, WriteRecord{
+	s := fs.shardFor(rank)
+	s.mu.Lock()
+	start := s.clock
+	s.clock = start + dur
+	s.records = append(s.records, WriteRecord{
 		Rank: rank, Path: path, Bytes: nbytes,
 		Start: start, Duration: dur, Labels: labels,
 	})
+	s.bytes += nbytes
+	s.mu.Unlock()
 	return dur, nil
 }
 
-// AppendDirRecord notes a directory creation (metadata op); it costs one
-// open latency on rank's clock and adds a zero-byte record so file-count
-// audits can include directories if desired.
-func (fs *FileSystem) Mkdir(rank int, path string) error {
+// Mkdir notes a directory creation (metadata op): it costs one open
+// latency on rank's clock and appends a zero-byte record with Dir set so
+// file-count audits can include directories if desired.
+func (fs *FileSystem) Mkdir(rank int, path string, labels Labels) error {
+	if rank < 0 {
+		return fmt.Errorf("iosim: negative rank %d for %s", rank, path)
+	}
 	if fs.cfg.Backend == RealDisk {
 		if err := os.MkdirAll(filepath.Join(fs.root, path), 0o755); err != nil {
 			return fmt.Errorf("iosim: mkdir %s: %w", path, err)
 		}
 	}
-	fs.mu.Lock()
-	fs.rankClock[rank] += fs.cfg.OpenLatency
-	fs.mu.Unlock()
+	s := fs.shardFor(rank)
+	s.mu.Lock()
+	start := s.clock
+	s.clock = start + fs.cfg.OpenLatency
+	s.records = append(s.records, WriteRecord{
+		Rank: rank, Path: path,
+		Start: start, Duration: fs.cfg.OpenLatency,
+		Labels: labels, Dir: true,
+	})
+	s.mu.Unlock()
 	return nil
 }
 
 // AdvanceClock adds dt simulated seconds to rank's clock (used to model
-// compute time between bursts, e.g. MACSio's --compute_time).
+// compute time between bursts, e.g. MACSio's --compute_time). Negative
+// ranks have no shard and are ignored, matching Clock.
 func (fs *FileSystem) AdvanceClock(rank int, dt float64) {
-	fs.mu.Lock()
-	fs.rankClock[rank] += dt
-	fs.mu.Unlock()
+	if rank < 0 {
+		return
+	}
+	s := fs.shardFor(rank)
+	s.mu.Lock()
+	s.clock += dt
+	s.mu.Unlock()
 }
 
 // Clock returns rank's current simulated time.
 func (fs *FileSystem) Clock(rank int) float64 {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	return fs.rankClock[rank]
+	shards := *fs.shards.Load()
+	if rank < 0 || rank >= len(shards) {
+		return 0
+	}
+	s := shards[rank]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.clock
 }
 
-// Ledger returns a copy of all write records in insertion order.
+// Ledger returns a merged copy of all write records. The order is
+// deterministic regardless of goroutine scheduling: ascending rank, then
+// each rank's own program order. (Records carry Start timestamps for
+// callers that want time ordering instead.)
 func (fs *FileSystem) Ledger() []WriteRecord {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
-	out := make([]WriteRecord, len(fs.records))
-	copy(out, fs.records)
+	shards := *fs.shards.Load()
+	var total int
+	for _, s := range shards {
+		s.mu.Lock()
+		total += len(s.records)
+		s.mu.Unlock()
+	}
+	out := make([]WriteRecord, 0, total)
+	for _, s := range shards {
+		s.mu.Lock()
+		out = append(out, s.records...)
+		s.mu.Unlock()
+	}
 	return out
 }
 
-// Reset clears the ledger and all rank clocks.
+// Reset clears the ledger and all rank clocks. It must not race with
+// in-flight writers (call it between runs, not during one).
 func (fs *FileSystem) Reset() {
-	fs.mu.Lock()
-	fs.records = nil
-	fs.rankClock = map[int]float64{}
-	fs.burstActive = 0
-	fs.mu.Unlock()
+	fs.growMu.Lock()
+	empty := []*shard{}
+	fs.shards.Store(&empty)
+	fs.growMu.Unlock()
+	fs.burstBW.Store(math.Float64bits(snapshotBandwidth(fs.cfg, 0)))
 }
 
-// TotalBytes sums all recorded writes.
+// TotalBytes sums all recorded writes from the per-shard running totals.
 func (fs *FileSystem) TotalBytes() int64 {
-	fs.mu.Lock()
-	defer fs.mu.Unlock()
+	shards := *fs.shards.Load()
 	var total int64
-	for _, r := range fs.records {
-		total += r.Bytes
+	for _, s := range shards {
+		s.mu.Lock()
+		total += s.bytes
+		s.mu.Unlock()
 	}
 	return total
 }
@@ -297,7 +431,8 @@ func SortedKeys(m map[int]int64) []int {
 type BurstStat struct {
 	Step         int
 	Bytes        int64
-	Files        int
+	Files        int     // data files written (directory records excluded)
+	Dirs         int     // directory-creation metadata ops
 	WallSeconds  float64 // max over ranks of per-rank time spent in this step
 	MeanSeconds  float64 // mean over participating ranks
 	EffectiveBW  float64 // Bytes / WallSeconds
@@ -306,10 +441,13 @@ type BurstStat struct {
 
 // BurstStats computes per-step burst summaries from the ledger, modeling
 // the bulk-synchronous "compute then burst" pattern the paper describes.
+// Directory records contribute their metadata latency to the per-rank
+// burst time but are counted separately from data files.
 func BurstStats(records []WriteRecord) []BurstStat {
 	type acc struct {
 		bytes   int64
 		files   int
+		dirs    int
 		perRank map[int]float64
 	}
 	bySteps := map[int]*acc{}
@@ -320,7 +458,11 @@ func BurstStats(records []WriteRecord) []BurstStat {
 			bySteps[r.Labels.Step] = a
 		}
 		a.bytes += r.Bytes
-		a.files++
+		if r.Dir {
+			a.dirs++
+		} else {
+			a.files++
+		}
 		a.perRank[r.Rank] += r.Duration
 	}
 	steps := make([]int, 0, len(bySteps))
@@ -339,7 +481,7 @@ func BurstStats(records []WriteRecord) []BurstStat {
 			sum += d
 		}
 		st := BurstStat{
-			Step: s, Bytes: a.bytes, Files: a.files,
+			Step: s, Bytes: a.bytes, Files: a.files, Dirs: a.dirs,
 			WallSeconds: wall, Participants: len(a.perRank),
 		}
 		if len(a.perRank) > 0 {

@@ -149,12 +149,31 @@ func TestMkdirRealDisk(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.Backend = RealDisk
 	fs := New(cfg, dir)
-	if err := fs.Mkdir(0, "plt00000/Level_1"); err != nil {
+	if err := fs.Mkdir(0, "plt00000/Level_1", Labels{Step: 3, Level: 1}); err != nil {
 		t.Fatal(err)
 	}
 	st, err := os.Stat(filepath.Join(dir, "plt00000/Level_1"))
 	if err != nil || !st.IsDir() {
 		t.Fatalf("dir not created: %v", err)
+	}
+	// The metadata op appears in the ledger as a zero-byte Dir record
+	// costing one open latency, so file-count audits can see directories.
+	rec := fs.Ledger()
+	if len(rec) != 1 {
+		t.Fatalf("ledger len = %d, want 1", len(rec))
+	}
+	r := rec[0]
+	if !r.Dir || r.Bytes != 0 || r.Path != "plt00000/Level_1" || r.Labels.Step != 3 || r.Labels.Level != 1 {
+		t.Errorf("dir record = %+v", r)
+	}
+	if r.Duration != fs.Config().OpenLatency {
+		t.Errorf("dir duration = %g, want open latency %g", r.Duration, fs.Config().OpenLatency)
+	}
+	if got := fs.Clock(0); got != fs.Config().OpenLatency {
+		t.Errorf("clock after mkdir = %g", got)
+	}
+	if fs.TotalBytes() != 0 {
+		t.Errorf("TotalBytes after mkdir = %d", fs.TotalBytes())
 	}
 }
 

@@ -9,6 +9,11 @@
 // per step, written through the iosim filesystem model under simulated MPI
 // so contention and burst behavior are modeled the same way as the AMReX
 // side.
+//
+// Every rank goroutine writes straight into its own iosim ledger shard;
+// the per-dump BeginBurst calls (one per rank, between the same barriers)
+// are idempotent snapshots of the contended bandwidth, so the N-to-N dump
+// takes no shared lock anywhere on the write path.
 package macsio
 
 import (

@@ -29,28 +29,78 @@ const (
 	tagScan
 )
 
-// message is a single point-to-point payload.
+// message is a single point-to-point payload. seq is the mailbox arrival
+// stamp; AnySource matching uses it to preserve arrival order across
+// senders.
 type message struct {
 	src, tag int
+	seq      uint64
 	data     interface{}
 }
 
-// mailbox is the per-rank receive queue with (src,tag) matching.
+// mkey buckets pending messages by their full match key.
+type mkey struct{ src, tag int }
+
+// msgQueue is a FIFO of matching messages. Pops advance head instead of
+// re-slicing so delivery is O(1); the backing array is reset when drained.
+type msgQueue struct {
+	msgs []message
+	head int
+}
+
+func (q *msgQueue) empty() bool { return q.head == len(q.msgs) }
+
+func (q *msgQueue) push(msg message) { q.msgs = append(q.msgs, msg) }
+
+func (q *msgQueue) pop() message {
+	msg := q.msgs[q.head]
+	q.msgs[q.head].data = nil // drop the payload reference
+	q.head++
+	switch {
+	case q.empty():
+		q.msgs = q.msgs[:0]
+		q.head = 0
+	case q.head > 32 && q.head*2 >= len(q.msgs):
+		// Compact the dead prefix so a bucket that never fully drains
+		// (steady producer one message ahead of the consumer) stays
+		// bounded by its live depth instead of its lifetime volume.
+		n := copy(q.msgs, q.msgs[q.head:])
+		q.msgs = q.msgs[:n]
+		q.head = 0
+	}
+	return msg
+}
+
+// mailbox is the per-rank receive queue. Pending messages are bucketed by
+// (src, tag) so a Recv with a named source matches in O(1) map lookups
+// instead of scanning one flat queue per wakeup — under a cond.Broadcast
+// storm during a large burst the old O(n) scan made matching quadratic.
+// AnySource receives scan only the bucket heads for the tag (bounded by
+// the number of distinct senders) and take the earliest arrival.
 type mailbox struct {
-	mu    sync.Mutex
-	cond  *sync.Cond
-	queue []message
+	mu      sync.Mutex
+	cond    *sync.Cond
+	buckets map[mkey]*msgQueue
+	seq     uint64
 }
 
 func newMailbox() *mailbox {
-	m := &mailbox{}
+	m := &mailbox{buckets: map[mkey]*msgQueue{}}
 	m.cond = sync.NewCond(&m.mu)
 	return m
 }
 
 func (m *mailbox) put(msg message) {
 	m.mu.Lock()
-	m.queue = append(m.queue, msg)
+	k := mkey{src: msg.src, tag: msg.tag}
+	q := m.buckets[k]
+	if q == nil {
+		q = &msgQueue{}
+		m.buckets[k] = q
+	}
+	msg.seq = m.seq
+	m.seq++
+	q.push(msg)
 	m.mu.Unlock()
 	m.cond.Broadcast()
 }
@@ -59,10 +109,22 @@ func (m *mailbox) get(src, tag int) message {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	for {
-		for i, msg := range m.queue {
-			if (src == AnySource || msg.src == src) && msg.tag == tag {
-				m.queue = append(m.queue[:i], m.queue[i+1:]...)
-				return msg
+		if src != AnySource {
+			if q := m.buckets[mkey{src: src, tag: tag}]; q != nil && !q.empty() {
+				return q.pop()
+			}
+		} else {
+			var best *msgQueue
+			for k, q := range m.buckets {
+				if k.tag != tag || q.empty() {
+					continue
+				}
+				if best == nil || q.msgs[q.head].seq < best.msgs[best.head].seq {
+					best = q
+				}
+			}
+			if best != nil {
+				return best.pop()
 			}
 		}
 		m.cond.Wait()

@@ -304,3 +304,69 @@ func TestManyRanksStress(t *testing.T) {
 		t.Fatal(err)
 	}
 }
+
+// TestBucketedMatchingManySourcesAndTags floods one receiver with
+// interleaved (src, tag) streams and checks per-pair FIFO order plus
+// arrival-order AnySource draining — the properties the (src, tag)
+// bucketed mailbox must preserve over the old flat-queue scan.
+func TestBucketedMatchingManySourcesAndTags(t *testing.T) {
+	const ranks, perTag = 8, 25
+	err := Run(ranks, func(c *Comm) error {
+		if c.Rank() != 0 {
+			for i := 0; i < perTag; i++ {
+				for tag := 0; tag < 3; tag++ {
+					c.Send(0, tag, []int{c.Rank(), tag, i})
+				}
+			}
+			return nil
+		}
+		// Drain tag 2 first, then tag 0, then tag 1 — each out of send
+		// order relative to the others, in order within a (src, tag) pair.
+		for _, tag := range []int{2, 0, 1} {
+			next := map[int]int{}
+			for n := 0; n < (ranks-1)*perTag; n++ {
+				got, from := c.Recv(AnySource, tag)
+				v := got.([]int)
+				if v[0] != from || v[1] != tag {
+					t.Errorf("mismatched envelope: %v from %d tag %d", v, from, tag)
+				}
+				if v[2] != next[from] {
+					t.Errorf("src %d tag %d: got seq %d, want %d", from, tag, v[2], next[from])
+				}
+				next[from]++
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestAnySourceArrivalOrder pins the bucket-scan tie-break: AnySource
+// must deliver in mailbox arrival order even across different senders.
+func TestAnySourceArrivalOrder(t *testing.T) {
+	err := Run(3, func(c *Comm) error {
+		switch c.Rank() {
+		case 1:
+			c.Send(0, 9, "from-1")
+			c.Send(2, 0, nil) // let rank 2 send second
+		case 2:
+			c.Recv(1, 0)
+			c.Send(0, 9, "from-2")
+			c.Send(0, 0, nil) // release the receiver
+		case 0:
+			c.Recv(2, 0) // both tag-9 messages are now enqueued, 1 before 2
+			if got, from := c.Recv(AnySource, 9); from != 1 || got.(string) != "from-1" {
+				t.Errorf("first AnySource recv = %v from %d, want from-1", got, from)
+			}
+			if got, from := c.Recv(AnySource, 9); from != 2 || got.(string) != "from-2" {
+				t.Errorf("second AnySource recv = %v from %d, want from-2", got, from)
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}

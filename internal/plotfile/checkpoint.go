@@ -58,7 +58,7 @@ func WriteCheckpoint(fs *iosim.FileSystem, spec CheckpointSpec) ([]OutputRecord,
 	err := mpisim.Run(spec.NProcs, func(c *mpisim.Comm) error {
 		rank := c.Rank()
 		if rank == 0 {
-			if err := fs.Mkdir(0, spec.Root); err != nil {
+			if err := fs.Mkdir(0, spec.Root, labels(0)); err != nil {
 				return err
 			}
 			hdr := encodeCheckpointHeader(spec)
@@ -66,7 +66,7 @@ func WriteCheckpoint(fs *iosim.FileSystem, spec CheckpointSpec) ([]OutputRecord,
 				return err
 			}
 			for l := range spec.Levels {
-				if err := fs.Mkdir(0, fmt.Sprintf("%s/Level_%d", spec.Root, l)); err != nil {
+				if err := fs.Mkdir(0, levelDir(spec.Root, l), labels(l)); err != nil {
 					return err
 				}
 			}
@@ -77,7 +77,7 @@ func WriteCheckpoint(fs *iosim.FileSystem, spec CheckpointSpec) ([]OutputRecord,
 			if len(owned) == 0 {
 				continue
 			}
-			path := fmt.Sprintf("%s/Level_%d/Cell_D_%05d", spec.Root, l, rank)
+			path := CellDPath(spec.Root, l, rank)
 			data := encodeCellD(lev, owned, spec.NComp)
 			if _, err := fs.Write(rank, path, data, labels(l)); err != nil {
 				return err
@@ -99,26 +99,49 @@ func WriteCheckpoint(fs *iosim.FileSystem, spec CheckpointSpec) ([]OutputRecord,
 }
 
 // encodeCheckpointHeader writes everything restart needs: time state plus
-// per-level geometry, box lists and owners.
+// per-level geometry, box lists and owners. Like the plotfile metadata
+// encoders it is a strconv-append builder — the per-box loop allocates
+// nothing.
 func encodeCheckpointHeader(spec CheckpointSpec) string {
-	var sb strings.Builder
-	fmt.Fprintln(&sb, CheckpointFormatVersion)
-	fmt.Fprintf(&sb, "%d\n", spec.Step)
-	fmt.Fprintf(&sb, "%.17g\n", spec.Time)
-	fmt.Fprintf(&sb, "%.17g\n", spec.LastDt)
-	fmt.Fprintf(&sb, "%d\n", spec.NComp)
-	fmt.Fprintf(&sb, "%d\n", spec.NProcs)
-	fmt.Fprintf(&sb, "%d\n", len(spec.Levels))
+	nboxes := 0
+	for _, lev := range spec.Levels {
+		nboxes += lev.BA.Len()
+	}
+	b := make([]byte, 0, 160+96*len(spec.Levels)+48*nboxes)
+	b = append(b, CheckpointFormatVersion...)
+	b = append(b, '\n')
+	b = strconv.AppendInt(b, int64(spec.Step), 10)
+	b = append(b, '\n')
+	b = appendFloat17(b, spec.Time)
+	b = append(b, '\n')
+	b = appendFloat17(b, spec.LastDt)
+	b = append(b, '\n')
+	b = strconv.AppendInt(b, int64(spec.NComp), 10)
+	b = append(b, '\n')
+	b = strconv.AppendInt(b, int64(spec.NProcs), 10)
+	b = append(b, '\n')
+	b = strconv.AppendInt(b, int64(len(spec.Levels)), 10)
+	b = append(b, '\n')
 	for _, lev := range spec.Levels {
 		g := lev.Geom
-		fmt.Fprintf(&sb, "%s %.17g %.17g %.17g %.17g %d\n",
-			formatBox(g.Domain), g.ProbLo[0], g.ProbLo[1], g.ProbHi[0], g.ProbHi[1], lev.RefRatio)
-		fmt.Fprintf(&sb, "%d\n", lev.BA.Len())
-		for i, b := range lev.BA.Boxes {
-			fmt.Fprintf(&sb, "%s %d\n", formatBox(b), lev.DM.Owner[i])
+		b = appendBox(b, g.Domain)
+		for _, v := range []float64{g.ProbLo[0], g.ProbLo[1], g.ProbHi[0], g.ProbHi[1]} {
+			b = append(b, ' ')
+			b = appendFloat17(b, v)
+		}
+		b = append(b, ' ')
+		b = strconv.AppendInt(b, int64(lev.RefRatio), 10)
+		b = append(b, '\n')
+		b = strconv.AppendInt(b, int64(lev.BA.Len()), 10)
+		b = append(b, '\n')
+		for i, bx := range lev.BA.Boxes {
+			b = appendBox(b, bx)
+			b = append(b, ' ')
+			b = strconv.AppendInt(b, int64(lev.DM.Owner[i]), 10)
+			b = append(b, '\n')
 		}
 	}
-	return sb.String()
+	return string(b)
 }
 
 // RestartLevel is one level recovered from a checkpoint.

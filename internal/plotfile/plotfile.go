@@ -14,15 +14,21 @@
 // A size-only path (WriteSizes) produces byte-for-byte identical ledger
 // entries without materializing field data; the Summit-scale surrogate
 // pipeline uses it.
+//
+// Encoders are allocation-frugal by design: encodeCellD preallocates the
+// exact CellDBytes buffer and emits float64 rows with math.Float64bits —
+// one allocation per Cell_D file, no reflection — and the ASCII metadata
+// encoders (EncodeHeader, EncodeCellH) are strconv-append builders rather
+// than per-box fmt.Fprintf calls. Their outputs are pinned byte-identical
+// to the original fmt/binary.Write encoders by equivalence tests.
 package plotfile
 
 import (
-	"bytes"
 	"encoding/binary"
 	"fmt"
 	"math"
 	"sort"
-	"strings"
+	"strconv"
 
 	"amrproxyio/internal/amr"
 	"amrproxyio/internal/grid"
@@ -91,7 +97,7 @@ func Write(fs *iosim.FileSystem, spec Spec) ([]OutputRecord, error) {
 	err := mpisim.Run(spec.NProcs, func(c *mpisim.Comm) error {
 		rank := c.Rank()
 		if rank == 0 {
-			if err := fs.Mkdir(0, spec.Root); err != nil {
+			if err := fs.Mkdir(0, spec.Root, labels(0)); err != nil {
 				return err
 			}
 			hdr := EncodeHeader(spec)
@@ -103,11 +109,11 @@ func Write(fs *iosim.FileSystem, spec Spec) ([]OutputRecord, error) {
 				return err
 			}
 			for l := range spec.Levels {
-				if err := fs.Mkdir(0, fmt.Sprintf("%s/Level_%d", spec.Root, l)); err != nil {
+				if err := fs.Mkdir(0, levelDir(spec.Root, l), labels(l)); err != nil {
 					return err
 				}
 				ch := EncodeCellH(spec, l)
-				path := fmt.Sprintf("%s/Level_%d/Cell_H", spec.Root, l)
+				path := levelDir(spec.Root, l) + "/Cell_H"
 				if _, err := fs.Write(0, path, []byte(ch), labels(l)); err != nil {
 					return err
 				}
@@ -122,7 +128,7 @@ func Write(fs *iosim.FileSystem, spec Spec) ([]OutputRecord, error) {
 			if len(owned) == 0 {
 				continue // the paper's "file only when the task has data"
 			}
-			path := fmt.Sprintf("%s/Level_%d/Cell_D_%05d", spec.Root, l, rank)
+			path := CellDPath(spec.Root, l, rank)
 			var nbytes int64
 			if lev.State != nil {
 				data := encodeCellD(lev, owned, spec.NComp())
@@ -158,101 +164,225 @@ func Write(fs *iosim.FileSystem, spec Spec) ([]OutputRecord, error) {
 	return out, nil
 }
 
+// levelDir names the per-level subdirectory: "<root>/Level_<l>".
+func levelDir(root string, level int) string {
+	b := make([]byte, 0, len(root)+16)
+	b = append(b, root...)
+	b = append(b, "/Level_"...)
+	b = strconv.AppendInt(b, int64(level), 10)
+	return string(b)
+}
+
+// CellDPath names the Cell_D file rank writes at a level:
+// "<root>/Level_<l>/Cell_D_<rank %05d>".
+func CellDPath(root string, level, rank int) string {
+	b := make([]byte, 0, len(root)+32)
+	b = append(b, root...)
+	b = append(b, "/Level_"...)
+	b = strconv.AppendInt(b, int64(level), 10)
+	b = append(b, "/Cell_D_"...)
+	b = appendZeroPadded(b, int64(rank), 5)
+	return string(b)
+}
+
+// appendFloat17 appends v the way fmt's %.17g renders it.
+func appendFloat17(dst []byte, v float64) []byte {
+	return strconv.AppendFloat(dst, v, 'g', 17, 64)
+}
+
+// appendZeroPadded appends v zero-padded to the given total width (sign
+// included), matching fmt's %0*d.
+func appendZeroPadded(dst []byte, v int64, width int) []byte {
+	if v < 0 {
+		dst = append(dst, '-')
+		v = -v
+		width--
+	}
+	for n := intLen(int(v)); n < width; n++ {
+		dst = append(dst, '0')
+	}
+	return strconv.AppendInt(dst, v, 10)
+}
+
 // EncodeHeader renders the top-level Header file.
 func EncodeHeader(spec Spec) string {
-	var sb strings.Builder
-	fmt.Fprintln(&sb, FormatVersion)
-	fmt.Fprintln(&sb, spec.NComp())
+	b := make([]byte, 0, 256+32*len(spec.Levels))
+	b = append(b, FormatVersion...)
+	b = append(b, '\n')
+	b = strconv.AppendInt(b, int64(spec.NComp()), 10)
+	b = append(b, '\n')
 	for _, v := range spec.VarNames {
-		fmt.Fprintln(&sb, v)
+		b = append(b, v...)
+		b = append(b, '\n')
 	}
-	fmt.Fprintln(&sb, 2) // spacedim
-	fmt.Fprintf(&sb, "%.17g\n", spec.Time)
-	fmt.Fprintln(&sb, len(spec.Levels)-1) // finest_level
+	b = append(b, '2', '\n') // spacedim
+	b = appendFloat17(b, spec.Time)
+	b = append(b, '\n')
+	b = strconv.AppendInt(b, int64(len(spec.Levels)-1), 10) // finest_level
+	b = append(b, '\n')
 	g0 := spec.Levels[0].Geom
-	fmt.Fprintf(&sb, "%.17g %.17g\n", g0.ProbLo[0], g0.ProbLo[1])
-	fmt.Fprintf(&sb, "%.17g %.17g\n", g0.ProbHi[0], g0.ProbHi[1])
+	b = appendFloat17(b, g0.ProbLo[0])
+	b = append(b, ' ')
+	b = appendFloat17(b, g0.ProbLo[1])
+	b = append(b, '\n')
+	b = appendFloat17(b, g0.ProbHi[0])
+	b = append(b, ' ')
+	b = appendFloat17(b, g0.ProbHi[1])
+	b = append(b, '\n')
 	for l := 0; l < len(spec.Levels)-1; l++ {
 		if l > 0 {
-			sb.WriteByte(' ')
+			b = append(b, ' ')
 		}
-		fmt.Fprintf(&sb, "%d", spec.Levels[l].RefRatio)
+		b = strconv.AppendInt(b, int64(spec.Levels[l].RefRatio), 10)
 	}
-	sb.WriteByte('\n')
+	b = append(b, '\n')
 	for l, lev := range spec.Levels {
 		if l > 0 {
-			sb.WriteByte(' ')
+			b = append(b, ' ')
 		}
-		sb.WriteString(formatBox(lev.Geom.Domain))
+		b = appendBox(b, lev.Geom.Domain)
 	}
-	sb.WriteByte('\n')
+	b = append(b, '\n')
 	for l := range spec.Levels {
 		if l > 0 {
-			sb.WriteByte(' ')
+			b = append(b, ' ')
 		}
-		fmt.Fprintf(&sb, "%d", spec.Step)
+		b = strconv.AppendInt(b, int64(spec.Step), 10)
 	}
-	sb.WriteByte('\n')
+	b = append(b, '\n')
 	for _, lev := range spec.Levels {
-		fmt.Fprintf(&sb, "%.17g %.17g\n", lev.Geom.CellSize[0], lev.Geom.CellSize[1])
+		b = appendFloat17(b, lev.Geom.CellSize[0])
+		b = append(b, ' ')
+		b = appendFloat17(b, lev.Geom.CellSize[1])
+		b = append(b, '\n')
 	}
-	fmt.Fprintln(&sb, 0) // coord_sys: cartesian
-	fmt.Fprintln(&sb, 0) // boundary width
-	return sb.String()
+	b = append(b, '0', '\n') // coord_sys: cartesian
+	b = append(b, '0', '\n') // boundary width
+	return string(b)
 }
 
 func encodeJobInfo(spec Spec) string {
-	var sb strings.Builder
-	fmt.Fprintln(&sb, "==============================================================================")
-	fmt.Fprintln(&sb, " amrproxyio Job Information")
-	fmt.Fprintln(&sb, "==============================================================================")
-	fmt.Fprintf(&sb, "number of MPI processes: %d\n", spec.NProcs)
-	fmt.Fprintf(&sb, "plot step: %d\n", spec.Step)
-	fmt.Fprintf(&sb, "simulation time: %.17g\n", spec.Time)
-	fmt.Fprintf(&sb, "levels: %d\n", len(spec.Levels))
+	const rule = "=============================================================================="
+	b := make([]byte, 0, 4*len(rule))
+	b = append(b, rule...)
+	b = append(b, '\n')
+	b = append(b, " amrproxyio Job Information\n"...)
+	b = append(b, rule...)
+	b = append(b, '\n')
+	b = append(b, "number of MPI processes: "...)
+	b = strconv.AppendInt(b, int64(spec.NProcs), 10)
+	b = append(b, "\nplot step: "...)
+	b = strconv.AppendInt(b, int64(spec.Step), 10)
+	b = append(b, "\nsimulation time: "...)
+	b = appendFloat17(b, spec.Time)
+	b = append(b, "\nlevels: "...)
+	b = strconv.AppendInt(b, int64(len(spec.Levels)), 10)
+	b = append(b, '\n')
 	for l, lev := range spec.Levels {
-		fmt.Fprintf(&sb, "level %d: %d grids, %d cells\n", l, lev.BA.Len(), lev.BA.NumPts())
+		b = append(b, "level "...)
+		b = strconv.AppendInt(b, int64(l), 10)
+		b = append(b, ": "...)
+		b = strconv.AppendInt(b, int64(lev.BA.Len()), 10)
+		b = append(b, " grids, "...)
+		b = strconv.AppendInt(b, lev.BA.NumPts(), 10)
+		b = append(b, " cells\n"...)
 	}
-	return sb.String()
+	return string(b)
 }
 
 // EncodeCellH renders the per-level Cell_H metadata file.
 func EncodeCellH(spec Spec, level int) string {
 	lev := spec.Levels[level]
-	var sb strings.Builder
-	fmt.Fprintln(&sb, 1) // version
-	fmt.Fprintln(&sb, 1) // how
-	fmt.Fprintln(&sb, spec.NComp())
-	fmt.Fprintln(&sb, 0) // nghost on disk
-	fmt.Fprintf(&sb, "(%d 0\n", lev.BA.Len())
-	for _, b := range lev.BA.Boxes {
-		fmt.Fprintln(&sb, formatBox(b))
+	b := make([]byte, 0, 64+48*lev.BA.Len())
+	b = append(b, '1', '\n') // version
+	b = append(b, '1', '\n') // how
+	b = strconv.AppendInt(b, int64(spec.NComp()), 10)
+	b = append(b, '\n')
+	b = append(b, '0', '\n') // nghost on disk
+	b = append(b, '(')
+	b = strconv.AppendInt(b, int64(lev.BA.Len()), 10)
+	b = append(b, " 0\n"...)
+	for _, bx := range lev.BA.Boxes {
+		b = appendBox(b, bx)
+		b = append(b, '\n')
 	}
-	fmt.Fprintln(&sb, ")")
-	fmt.Fprintln(&sb, lev.BA.Len())
+	b = append(b, ")\n"...)
+	b = strconv.AppendInt(b, int64(lev.BA.Len()), 10)
+	b = append(b, '\n')
 	// Fab locations: file per owning rank, offset within that rank's file.
 	offsets := map[int]int64{}
-	for i, b := range lev.BA.Boxes {
+	for i, bx := range lev.BA.Boxes {
 		rank := lev.DM.Owner[i]
-		fmt.Fprintf(&sb, "FabOnDisk: Cell_D_%05d %d\n", rank, offsets[rank])
-		offsets[rank] += fabBytes(b, spec.NComp())
+		b = append(b, "FabOnDisk: Cell_D_"...)
+		b = appendZeroPadded(b, int64(rank), 5)
+		b = append(b, ' ')
+		b = strconv.AppendInt(b, offsets[rank], 10)
+		b = append(b, '\n')
+		offsets[rank] += fabBytes(bx, spec.NComp())
 	}
-	return sb.String()
+	return string(b)
+}
+
+// appendBox appends a box the AMReX way: ((lox,loy) (hix,hiy) (0,0)).
+func appendBox(dst []byte, b grid.Box) []byte {
+	dst = append(dst, '(', '(')
+	dst = strconv.AppendInt(dst, int64(b.Lo.X), 10)
+	dst = append(dst, ',')
+	dst = strconv.AppendInt(dst, int64(b.Lo.Y), 10)
+	dst = append(dst, ") ("...)
+	dst = strconv.AppendInt(dst, int64(b.Hi.X), 10)
+	dst = append(dst, ',')
+	dst = strconv.AppendInt(dst, int64(b.Hi.Y), 10)
+	dst = append(dst, ") (0,0))"...)
+	return dst
 }
 
 // formatBox renders a box the AMReX way: ((lox,loy) (hix,hiy) (0,0)).
 func formatBox(b grid.Box) string {
-	return fmt.Sprintf("((%d,%d) (%d,%d) (0,0))", b.Lo.X, b.Lo.Y, b.Hi.X, b.Hi.Y)
+	return string(appendBox(make([]byte, 0, 40), b))
+}
+
+// appendFabHeader appends the per-FAB ASCII header preceding binary data.
+func appendFabHeader(dst []byte, b grid.Box, ncomp int) []byte {
+	dst = append(dst, "FAB "...)
+	dst = appendBox(dst, b)
+	dst = append(dst, ' ')
+	dst = strconv.AppendInt(dst, int64(ncomp), 10)
+	return append(dst, '\n')
 }
 
 // fabHeader renders the per-FAB ASCII header preceding the binary data.
 func fabHeader(b grid.Box, ncomp int) string {
-	return fmt.Sprintf("FAB %s %d\n", formatBox(b), ncomp)
+	return string(appendFabHeader(make([]byte, 0, 56), b, ncomp))
+}
+
+// intLen returns the rendered decimal length of v (sign included).
+func intLen(v int) int {
+	n := 1
+	if v < 0 {
+		n++
+		v = -v
+	}
+	for v >= 10 {
+		n++
+		v /= 10
+	}
+	return n
+}
+
+// fabHeaderLen is len(fabHeader(b, ncomp)) computed without allocating —
+// the size-only surrogate path calls it per box per dump.
+func fabHeaderLen(b grid.Box, ncomp int) int {
+	// "FAB " + "((lox,loy) (hix,hiy) (0,0))" + " " + ncomp + "\n"
+	return len("FAB ") +
+		len("((") + intLen(b.Lo.X) + 1 + intLen(b.Lo.Y) +
+		len(") (") + intLen(b.Hi.X) + 1 + intLen(b.Hi.Y) +
+		len(") (0,0))") + 1 + intLen(ncomp) + 1
 }
 
 // fabBytes is the exact on-disk size of one FAB record.
 func fabBytes(b grid.Box, ncomp int) int64 {
-	return int64(len(fabHeader(b, ncomp))) + b.NumPts()*int64(ncomp)*8
+	return int64(fabHeaderLen(b, ncomp)) + b.NumPts()*int64(ncomp)*8
 }
 
 // CellDBytes is the exact size of the Cell_D file a rank writes for its
@@ -268,25 +398,25 @@ func CellDBytes(ba amr.BoxArray, owned []int, ncomp int) int64 {
 
 // encodeCellD serializes the owned FABs of a level: ASCII FAB header then
 // little-endian float64 data, component-major, row-major within component
-// — only valid-region cells, no ghosts.
+// — only valid-region cells, no ghosts. The buffer is preallocated at the
+// exact CellDBytes size and values are emitted row-by-row straight from
+// the FAB backing array with math.Float64bits, so encoding a Cell_D file
+// costs one allocation total.
 func encodeCellD(lev LevelSpec, owned []int, ncomp int) []byte {
-	var buf bytes.Buffer
+	buf := make([]byte, 0, CellDBytes(lev.BA, owned, ncomp))
 	for _, idx := range owned {
 		b := lev.BA.Boxes[idx]
-		buf.WriteString(fabHeader(b, ncomp))
+		buf = appendFabHeader(buf, b, ncomp)
 		f := lev.State.FABs[idx]
-		vals := make([]float64, 0, b.NumPts())
 		for c := 0; c < ncomp; c++ {
-			vals = vals[:0]
 			for j := b.Lo.Y; j <= b.Hi.Y; j++ {
-				for i := b.Lo.X; i <= b.Hi.X; i++ {
-					vals = append(vals, f.At(i, j, c))
+				for _, v := range f.Row(j, c) {
+					buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v))
 				}
 			}
-			_ = binary.Write(&buf, binary.LittleEndian, vals)
 		}
 	}
-	return buf.Bytes()
+	return buf
 }
 
 // TotalBytes sums a record set.

@@ -77,6 +77,9 @@ func Fig2(ledger []iosim.WriteRecord) string {
 	var roots []string
 	seenRoot := map[string]bool{}
 	for _, r := range ledger {
+		if r.Dir {
+			continue // directory metadata records are not tree leaves
+		}
 		parts := strings.SplitN(r.Path, "/", 2)
 		root := parts[0]
 		if !seenRoot[root] {

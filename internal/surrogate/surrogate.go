@@ -12,6 +12,15 @@
 // DESIGN.md documents this as the substitution for the paper's Summit runs:
 // at these scales the measured quantity (bytes per step/level/task) depends
 // on grid counts, not field values.
+//
+// A Runner is single-threaded (its rank parallelism lives inside the
+// plotfile writer's SPMD goroutines), but independent Runners share no
+// state: campaign.RunAll executes many surrogate cases concurrently, each
+// against its own iosim.FileSystem, with ledgers identical to serial
+// execution. The size-only write path is allocation-free per box —
+// plotfile.CellDBytes computes exact FAB record sizes without rendering
+// headers — which is what keeps 17-billion-cell dumps cheap enough to
+// fan out across a worker pool.
 package surrogate
 
 import (
