@@ -4,7 +4,7 @@
 //
 // Usage:
 //
-//	amrio-campaign [-quick] [-filter case4] [-outdir results/] [-parallel N]
+//	amrio-campaign [-quick] [-filter case4] [-outdir results/] [-parallel N] [-topology]
 //
 // -quick (default) runs the campaign scaled for minutes-scale execution;
 // -quick=false runs paper-scale cases (hours; Summit-scale cases still use
@@ -13,6 +13,12 @@
 // worker pool: -parallel N caps the workers (default: all cores; 1
 // reproduces the serial executor). Ledgers and results are identical at
 // any parallelism; only wall-clock changes.
+//
+// -topology switches the filesystem model from one aggregate bandwidth
+// pool to the per-link contention model: each case's ranks are packed
+// onto its Summit node count, per-node NIC caps and Alpine NSD fan-in
+// apply, and the per-case output gains a link-skew summary (plus a full
+// per-node report when a -filter narrows the sweep to a few cases).
 package main
 
 import (
@@ -21,6 +27,7 @@ import (
 	"os"
 	"path/filepath"
 	"strings"
+	"sync"
 
 	"amrproxyio/internal/campaign"
 	"amrproxyio/internal/iosim"
@@ -39,6 +46,8 @@ func run() error {
 	filter := flag.String("filter", "", "only run cases whose name contains this substring")
 	outdir := flag.String("outdir", "", "save per-case result JSONs here")
 	parallel := flag.Int("parallel", 0, "worker-pool size (0 = all cores, 1 = serial)")
+	topology := flag.Bool("topology", false,
+		"model per-link contention (node NIC caps + NSD fan-in) instead of one aggregate pool")
 	flag.Parse()
 
 	all := campaign.PaperCampaign()
@@ -58,21 +67,53 @@ func run() error {
 		}
 	}
 
-	results, err := campaign.RunAll(cases, *parallel, func(campaign.Case) *iosim.FileSystem {
-		return iosim.New(iosim.DefaultConfig(), "")
+	var mu sync.Mutex
+	ledgers := map[string]*iosim.FileSystem{}
+	results, err := campaign.RunAll(cases, *parallel, func(c campaign.Case) *iosim.FileSystem {
+		cfg := iosim.DefaultConfig()
+		if *topology {
+			cfg.Topology = c.Topology()
+		}
+		fs := iosim.New(cfg, "")
+		if *topology {
+			mu.Lock()
+			ledgers[c.Name] = fs
+			mu.Unlock()
+		}
+		return fs
 	})
 	if err != nil {
 		return err
 	}
+	var linkReports []string
 	for i, res := range results {
 		c := cases[i]
-		fmt.Printf("%-18s %-9s %9s in %8v (%d plots)\n",
+		line := fmt.Sprintf("%-18s %-9s %9s in %8v (%d plots)",
 			c.Name, res.Engine, report.HumanBytes(res.TotalBytes()), res.Wall.Round(1e6), res.NPlots)
+		if fs := ledgers[c.Name]; fs != nil {
+			ledger := fs.Ledger()
+			line += "  [" + report.LinkSummary(ledger) + "]"
+			// A narrowed sweep gets the full per-node decomposition too.
+			if len(cases) <= 4 {
+				linkReports = append(linkReports,
+					fmt.Sprintf("%s:\n%s", c.Name, report.TopologyReport(ledger)))
+			}
+			// Each case's ledger is only needed for its own summary; free
+			// it now so a large -topology sweep doesn't hold every case's
+			// write records until process exit.
+			fs.Reset()
+			delete(ledgers, c.Name)
+		}
+		fmt.Println(line)
 		if *outdir != "" {
 			if err := res.Save(filepath.Join(*outdir, c.Name+".json")); err != nil {
 				return err
 			}
 		}
+	}
+	for _, r := range linkReports {
+		fmt.Println()
+		fmt.Print(r)
 	}
 	fmt.Println()
 	fmt.Println(report.TableIII(results))

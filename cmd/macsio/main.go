@@ -13,6 +13,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 
 	"amrproxyio/internal/iosim"
 	"amrproxyio/internal/macsio"
@@ -30,6 +31,7 @@ func run() error {
 	// Split our own flags (before "--") from MACSio flags.
 	var outdir string
 	var verbose bool
+	var nodes, targets int
 	fl := flag.NewFlagSet("macsio", flag.ContinueOnError)
 	fl.StringVar(&outdir, "outdir", "", "write real files under this directory")
 	fl.BoolVar(&verbose, "v", false, "print the output layout and burst report")
@@ -41,6 +43,24 @@ func run() error {
 		case "-outdir", "--outdir":
 			if i+1 < len(args) {
 				outdir = args[i+1]
+				i++
+			}
+		case "-nodes", "--nodes":
+			if i+1 < len(args) {
+				n, err := strconv.Atoi(args[i+1])
+				if err != nil {
+					return fmt.Errorf("-nodes %q: %w", args[i+1], err)
+				}
+				nodes = n
+				i++
+			}
+		case "-targets", "--targets":
+			if i+1 < len(args) {
+				n, err := strconv.Atoi(args[i+1])
+				if err != nil {
+					return fmt.Errorf("-targets %q: %w", args[i+1], err)
+				}
+				targets = n
 				i++
 			}
 		case "-v":
@@ -59,6 +79,19 @@ func run() error {
 	fsCfg := iosim.DefaultConfig()
 	if outdir != "" {
 		fsCfg.Backend = iosim.RealDisk
+	}
+	// -nodes N packs the ranks onto N Summit-like nodes and switches the
+	// burst model to per-link contention (NIC caps + NSD fan-in);
+	// -targets overrides the Alpine NSD server count.
+	if targets > 0 && nodes <= 0 {
+		return fmt.Errorf("-targets requires -nodes (the topology model needs a rank placement)")
+	}
+	if nodes > 0 {
+		topo := iosim.TopologyForCase(nodes, cfg.NProcs)
+		if targets > 0 {
+			topo.Targets = targets
+		}
+		fsCfg.Topology = topo
 	}
 	fs := iosim.New(fsCfg, outdir)
 
@@ -79,6 +112,9 @@ func run() error {
 		fmt.Println()
 		fmt.Println(report.Fig3(fs.Ledger()))
 		fmt.Println(report.BurstReport(fs.Ledger()))
+		if nodes > 0 {
+			fmt.Println(report.TopologyReport(fs.Ledger()))
+		}
 		fmt.Println(iosim.Characterize(fs.Ledger()).Render())
 	}
 	return nil

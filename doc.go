@@ -35,6 +35,15 @@
 // executes independent sweep cases on a worker pool with ledgers
 // identical to the serial loop.
 //
+// Contention is distribution-mapping-aware: an iosim.Topology places
+// ranks on compute nodes (per-node NIC caps) and fans their files into
+// GPFS NSD-style storage targets, so BeginBurst snapshots bandwidth per
+// (rank, target) link rather than one aggregate pool — packed writers
+// contend, spread writers don't. The cached communication plans extend
+// to per-rank-pair traffic volumes (amr.FillBoundaryTraffic), letting
+// mesh exchange and checkpoint/plot bursts share one contention model;
+// the zero Topology keeps the historical aggregate model byte-identical.
+//
 // Layout:
 //
 //	internal/grid      index-space geometry (boxes, Morton codes,
@@ -57,5 +66,6 @@
 //
 // The benchmarks in bench_test.go regenerate every table and figure of
 // the paper's evaluation section; EXPERIMENTS.md records paper-vs-measured
-// for each. Start with examples/quickstart.
+// for each. ARCHITECTURE.md maps the package graph and the load-bearing
+// designs. Start with examples/quickstart.
 package amrproxyio

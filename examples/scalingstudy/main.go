@@ -5,6 +5,13 @@
 // mode. It prints the modeled output volume, per-step burst behavior on
 // the Summit-like filesystem model, and the kernel-model comparison.
 //
+// Each scale runs twice: once against the aggregate bandwidth pool and
+// once against the per-link topology model (ranks packed onto Summit
+// nodes, per-node NIC caps, Alpine NSD fan-in), showing how placement
+// stretches the same byte volume into longer bursts. The surrogate's
+// mesh-exchange traffic is priced on the same topology, so compute and
+// I/O traffic share one contention model.
+//
 //	go run ./examples/scalingstudy
 package main
 
@@ -17,7 +24,19 @@ import (
 	"amrproxyio/internal/core"
 	"amrproxyio/internal/iosim"
 	"amrproxyio/internal/report"
+	"amrproxyio/internal/surrogate"
 )
+
+// totalCross sums the cross-rank traffic volume of an exchange.
+func totalCross(pairs []iosim.PairBytes) int64 {
+	var n int64
+	for _, p := range pairs {
+		if p.Src != p.Dst {
+			n += p.Bytes
+		}
+	}
+	return n
+}
 
 func main() {
 	fmt.Println("Summit-scale AMR I/O scaling study (surrogate engine, metadata only)")
@@ -29,6 +48,8 @@ func main() {
 			MaxStep: 20, PlotInt: 10, CFL: 0.5,
 			NProcs: 1024, Nodes: 512, Engine: campaign.EngineSurrogate,
 		}
+
+		// Aggregate model: one shared bandwidth pool.
 		fs := iosim.New(iosim.DefaultConfig(), "")
 		start := time.Now()
 		res, err := campaign.Run(c, fs)
@@ -38,22 +59,50 @@ func main() {
 		cells := int64(n) * int64(n)
 		fmt.Printf("%7dx%-7d (%5.2gB cells) -> %9s modeled output in %6v wall\n",
 			n, n, float64(cells)/1e9, report.HumanBytes(res.TotalBytes()), time.Since(start).Round(time.Millisecond))
-		stats := iosim.BurstStats(fs.Ledger())
-		for _, b := range stats {
-			fmt.Printf("    step %2d: %9s across %5d files, burst %6.2fs at %s/s effective\n",
+		aggregate := iosim.BurstStats(fs.Ledger())
+
+		// Per-link model: same case, ranks packed onto its Summit nodes.
+		topoCfg := iosim.DefaultConfig()
+		topoCfg.Topology = c.Topology()
+		tfs := iosim.New(topoCfg, "")
+		if _, err := campaign.Run(c, tfs); err != nil {
+			log.Fatal(err)
+		}
+		perLink := iosim.BurstStats(tfs.Ledger())
+		for i, b := range aggregate {
+			t := perLink[i]
+			fmt.Printf("    step %2d: %9s across %5d files, burst %6.2fs aggregate | %6.2fs per-link (link-skew %.2f)\n",
 				b.Step, report.HumanBytes(b.Bytes), b.Files, b.WallSeconds,
-				report.HumanBytes(int64(b.EffectiveBW)))
+				t.WallSeconds, t.LinkSkew)
 		}
 	}
 
-	// Fig. 11: the 8192^2 per-step series against the calibrated kernel.
-	fmt.Println("\nFig. 11 comparison (8192^2, kernel model vs surrogate measurement):")
-	fs := iosim.New(iosim.DefaultConfig(), "")
-	res, err := campaign.Run(campaign.LargeCase(), fs)
+	// The mesh side of the same contention model: the surrogate's ghost
+	// exchange priced per-node (solver stencil: 2 ghosts, 4 components).
+	large := campaign.LargeCase()
+	topo := large.Topology()
+	runner, err := surrogate.New(large.Inputs(), surrogate.DefaultOptions(), nil)
 	if err != nil {
 		log.Fatal(err)
 	}
-	tr, err := core.Translate(campaign.LargeCase().Inputs(), res.Records, core.DefaultTranslateOptions())
+	traffic := runner.ExchangeTraffic(2, 4)
+	fmt.Printf("\nMesh exchange on %d nodes (%s): %s/step cross-rank, %.4gs at the NICs\n",
+		topo.Nodes, large.Name,
+		report.HumanBytes(totalCross(traffic)),
+		topo.ExchangeTime(traffic, large.NProcs, 0))
+
+	topoCfg := iosim.DefaultConfig()
+	topoCfg.Topology = topo
+	tfs := iosim.New(topoCfg, "")
+	res, err := campaign.Run(large, tfs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("I/O bursts on the same topology: %s\n", report.LinkSummary(tfs.Ledger()))
+
+	// Fig. 11: the 8192^2 per-step series against the calibrated kernel.
+	fmt.Println("\nFig. 11 comparison (8192^2, kernel model vs surrogate measurement):")
+	tr, err := core.Translate(large.Inputs(), res.Records, core.DefaultTranslateOptions())
 	if err != nil {
 		log.Fatal(err)
 	}

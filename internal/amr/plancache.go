@@ -23,6 +23,7 @@ const (
 	opCopyInto
 	opAverageDown
 	opFillPatchCoarse
+	opPairTraffic
 )
 
 // planKey identifies one cached plan. aFP/bFP are BoxArray fingerprints;

@@ -1,0 +1,91 @@
+package amr
+
+import "sort"
+
+// Per-rank-pair traffic volumes derived from the cached communication
+// plans. A copy plan records which (source box, destination box, region)
+// copies a ghost exchange performs; composing it with a
+// DistributionMapping attributes each region's bytes to the (owner(src),
+// owner(dst)) rank pair — exactly the view a network contention model
+// needs. The result is cached alongside the plans themselves, keyed by
+// the BoxArray fingerprint plus a fingerprint of the ownership vector, so
+// a regrid or a re-distribution invalidates it automatically while
+// steady-state timesteps replay it for free. This is what lets mesh
+// exchange traffic and the checkpoint/plot bursts in the iosim ledger
+// share one topology-aware contention model (iosim.Topology.ExchangeTime).
+
+// PairTraffic is the byte volume one rank sends another during a
+// bulk-synchronous exchange. Src == Dst entries are local copies (no
+// wire traffic on a real machine, but reported so callers can price
+// intra-node bandwidth if they choose).
+type PairTraffic struct {
+	Src   int
+	Dst   int
+	Bytes int64
+}
+
+// ownersFingerprint hashes a DistributionMapping's ownership vector
+// (FNV-1a over the owner sequence) for use in plan-cache keys.
+func ownersFingerprint(owner []int) uint64 {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, o := range owner {
+		v := uint64(o)
+		for i := 0; i < 8; i++ {
+			h = (h ^ (v & 0xff)) * prime64
+			v >>= 8
+		}
+	}
+	return h
+}
+
+// FillBoundaryTraffic returns the per-rank-pair byte volumes of one
+// same-level ghost exchange on (ba, dm) with the given ghost width and
+// component count: for every cached (src, dst, region) copy, region cells
+// x ncomp x 8 bytes attributed to (dm.Owner[src], dm.Owner[dst]). The
+// slice is sorted by (Src, Dst), deterministic, and cached — callers must
+// not mutate it.
+func FillBoundaryTraffic(ba BoxArray, dm DistributionMapping, nghost, ncomp int) []PairTraffic {
+	key := planKey{
+		op:  opPairTraffic,
+		aFP: ba.Fingerprint(),
+		bFP: ownersFingerprint(dm.Owner),
+		p1:  uint64(nghost),
+		p2:  uint64(ncomp),
+	}
+	return lookupPlan(key, func() interface{} {
+		plan := fillBoundaryPlan(ba, nghost)
+		vol := map[[2]int]int64{}
+		for _, p := range plan.pairs {
+			sr, dr := dm.Owner[p.srcIdx], dm.Owner[p.dstIdx]
+			vol[[2]int{sr, dr}] += p.region.NumPts() * int64(ncomp) * 8
+		}
+		out := make([]PairTraffic, 0, len(vol))
+		for k, b := range vol {
+			out = append(out, PairTraffic{Src: k[0], Dst: k[1], Bytes: b})
+		}
+		sort.Slice(out, func(i, j int) bool {
+			if out[i].Src != out[j].Src {
+				return out[i].Src < out[j].Src
+			}
+			return out[i].Dst < out[j].Dst
+		})
+		return out
+	}).([]PairTraffic)
+}
+
+// TotalTraffic sums a traffic set, optionally excluding local (Src == Dst)
+// copies.
+func TotalTraffic(pairs []PairTraffic, includeLocal bool) int64 {
+	var n int64
+	for _, p := range pairs {
+		if !includeLocal && p.Src == p.Dst {
+			continue
+		}
+		n += p.Bytes
+	}
+	return n
+}

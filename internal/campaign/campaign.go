@@ -1,19 +1,3 @@
-// Package campaign defines and executes the paper's Table III parameter
-// study: 47 Castro Sedov runs spanning amr.max_step 40-1000, amr.n_cell
-// 32² to 131072², amr.max_level 2-4, amr.plot_int 1-20, castro.cfl
-// 0.3-0.6, and 1-1024 MPI tasks on up to 512 Summit-node equivalents.
-//
-// Each case runs on one of two engines: the real hydrodynamics solver
-// (internal/sim) at laptop-tractable sizes, or the analytic surrogate
-// (internal/surrogate) at Summit scale — with the same meshing and I/O
-// pipeline either way. Results carry the full Eq. (2) output ledger and
-// serialize to JSON for the reporting and benchmark layers.
-//
-// Cases are independent — each owns a private iosim.FileSystem, and the
-// solver, surrogate, and plotfile writer share no mutable state across
-// runs — so RunAll executes the sweep on a worker pool, one worker per
-// core by default, producing results (and ledgers) identical to the
-// serial loop in case order.
 package campaign
 
 import (
@@ -81,6 +65,15 @@ func (c Case) Inputs() inputs.CastroInputs {
 		cfg.BlockingFactor = 8
 	}
 	return cfg
+}
+
+// Topology derives the case's Summit-like hardware placement for the
+// iosim per-link contention model: NProcs ranks packed onto Nodes
+// compute nodes with per-node NIC caps and Alpine-style NSD fan-in.
+// Cases without a node count (Nodes <= 0) return the zero (disabled)
+// topology, preserving the aggregate model.
+func (c Case) Topology() iosim.Topology {
+	return iosim.TopologyForCase(c.Nodes, c.NProcs)
 }
 
 // engineFor resolves EngineAuto (and the empty string). Any other engine

@@ -1,0 +1,38 @@
+// Package campaign defines and executes the paper's Table III parameter
+// study: 47 Castro Sedov runs spanning amr.max_step 40-1000, amr.n_cell
+// 32² to 131072², amr.max_level 2-4, amr.plot_int 1-20, castro.cfl
+// 0.3-0.6, and 1-1024 MPI tasks on up to 512 Summit-node equivalents.
+//
+// # Engines
+//
+// Each case runs on one of two engines: the real hydrodynamics solver
+// (internal/sim) at laptop-tractable sizes, or the analytic surrogate
+// (internal/surrogate) at Summit scale — with the same meshing and I/O
+// pipeline either way. EngineAuto picks by mesh size (HydroCellLimit);
+// any other unknown engine name is an error rather than a silent
+// fallback. Results carry the full Eq. (2) output ledger and serialize
+// to JSON for the reporting and benchmark layers.
+//
+// # RunAll's serial-equivalence contract
+//
+// Cases are independent — each owns a private iosim.FileSystem, and the
+// solver, surrogate, and plotfile writer share no mutable state across
+// runs — so RunAll executes the sweep on a worker pool, one worker per
+// core by default. Its contract: for any parallelism (including 1) and
+// any worker scheduling, the returned Results — records, plot counts,
+// simulated times, and each case's iosim ledger — are identical to
+// running the cases serially in case order. Only wall-clock time
+// changes. This holds because each case's randomness is seeded through
+// its own filesystem config, the iosim ledger merge is deterministic
+// (see the iosim package documentation), and result slots are written by
+// index, never shared. All cases run even if some fail; the joined error
+// reports every failure.
+//
+// # Topology
+//
+// Case.Topology derives the Summit-like per-link contention topology for
+// a case (NProcs ranks packed onto Nodes nodes, Alpine NSD fan-in); pass
+// it in an iosim.Config to model per-node NIC caps instead of one
+// aggregate bandwidth pool. The default filesystem (newFS == nil) keeps
+// the aggregate model, preserving historical ledgers.
+package campaign

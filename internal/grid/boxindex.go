@@ -14,11 +14,11 @@ import "sort"
 // content fingerprint so stale indexes cannot survive a regrid.
 type BoxIndex struct {
 	boxes   []Box
-	bounds  Box     // bounding box of all indexed boxes
-	cellX   int     // bucket width in cells
-	cellY   int     // bucket height in cells
-	nbx     int     // buckets along x
-	nby     int     // buckets along y
+	bounds  Box // bounding box of all indexed boxes
+	cellX   int // bucket width in cells
+	cellY   int // bucket height in cells
+	nbx     int // buckets along x
+	nby     int // buckets along y
 	buckets [][]int32
 }
 

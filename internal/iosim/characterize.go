@@ -44,6 +44,15 @@ type Characterization struct {
 	MeanBurstBytes    float64
 	MeanInterArrival  float64 // simulated seconds between burst starts
 	AggregateBandwith float64 // bytes / total busy seconds (max rank clock)
+
+	// Topology decomposition, populated only when the ledger carries
+	// per-link labels (records with Node >= 0); all zero — and absent
+	// from Render — under the aggregate model.
+	NodesUsed     int     // distinct compute nodes that wrote data
+	TargetsUsed   int     // distinct storage targets that received data
+	LinksUsed     int     // distinct (node, target) links
+	NodeImbalance float64 // max/mean bytes per node (1.0 = perfect)
+	LinkImbalance float64 // max/mean bytes per link (1.0 = perfect)
 }
 
 // Characterize computes the profile from ledger records.
@@ -54,6 +63,9 @@ func Characterize(records []WriteRecord) Characterization {
 	}
 	files := map[string]bool{}
 	ranks := map[int]int64{}
+	nodes := map[int]int64{}
+	targets := map[int]int64{}
+	links := map[burstLink]int64{}
 	sizes := make([]int64, 0, len(records))
 	c.SizeHistogram = map[int]int{}
 	c.MinWrite = math.MaxInt64
@@ -70,6 +82,13 @@ func Characterize(records []WriteRecord) Characterization {
 		c.TotalWrites++
 		files[r.Path] = true
 		ranks[r.Rank] += r.Bytes
+		if r.Node >= 0 {
+			nodes[r.Node] += r.Bytes
+			if r.Target >= 0 {
+				targets[r.Target] += r.Bytes
+			}
+			links[burstLink{r.Node, r.Target}] += r.Bytes
+		}
 		sizes = append(sizes, r.Bytes)
 		if r.Bytes < c.MinWrite {
 			c.MinWrite = r.Bytes
@@ -81,6 +100,11 @@ func Characterize(records []WriteRecord) Characterization {
 	}
 	c.UniqueFiles = len(files)
 	c.Ranks = len(ranks)
+	c.NodesUsed = len(nodes)
+	c.TargetsUsed = len(targets)
+	c.LinksUsed = len(links)
+	c.NodeImbalance = bytesImbalance(nodes)
+	c.LinkImbalance = bytesImbalance(links)
 	if c.TotalWrites == 0 {
 		c.MinWrite = 0
 		return c
@@ -138,6 +162,25 @@ func Characterize(records []WriteRecord) Characterization {
 	return c
 }
 
+// bytesImbalance returns max/mean over a byte-count map (0 when empty).
+func bytesImbalance[K comparable](m map[K]int64) float64 {
+	if len(m) == 0 {
+		return 0
+	}
+	var sum, max float64
+	for _, b := range m {
+		v := float64(b)
+		sum += v
+		if v > max {
+			max = v
+		}
+	}
+	if mean := sum / float64(len(m)); mean > 0 {
+		return max / mean
+	}
+	return 0
+}
+
 // sizeBucket returns floor(log2(bytes)) with zero-size writes in bucket 0.
 func sizeBucket(bytes int64) int {
 	if bytes <= 1 {
@@ -164,6 +207,12 @@ func (c Characterization) Render() string {
 	fmt.Fprintf(&sb, "  bursts           : %d, mean %.0f bytes, inter-arrival %.4gs\n",
 		c.Bursts, c.MeanBurstBytes, c.MeanInterArrival)
 	fmt.Fprintf(&sb, "  aggregate bw     : %.4g B/s\n", c.AggregateBandwith)
+	if c.NodesUsed > 0 {
+		fmt.Fprintf(&sb, "  topology         : %d nodes, %d targets, %d links\n",
+			c.NodesUsed, c.TargetsUsed, c.LinksUsed)
+		fmt.Fprintf(&sb, "  node imbalance   : %.3f (max/mean)\n", c.NodeImbalance)
+		fmt.Fprintf(&sb, "  link imbalance   : %.3f (max/mean)\n", c.LinkImbalance)
+	}
 	if len(c.SizeHistogram) > 0 {
 		fmt.Fprintln(&sb, "  size histogram (log2 buckets):")
 		buckets := make([]int, 0, len(c.SizeHistogram))

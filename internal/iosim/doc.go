@@ -1,0 +1,62 @@
+// Package iosim models the parallel filesystem the paper's runs wrote to
+// (Summit's GPFS-based Alpine). It provides a deterministic performance
+// model — shared aggregate bandwidth with per-writer caps, per-open
+// latency, seeded lognormal jitter, and an optional per-link topology —
+// plus a ledger of every write so the analysis layer can reconstruct
+// per-(step, level, rank) output sizes, which are the quantities the
+// paper measures.
+//
+// # Backends
+//
+// Two backends are supported, with identical timing models; the backend
+// only controls materialization:
+//
+//   - ModelOnly: no bytes touch the real disk; only the ledger and the
+//     simulated clock advance. This is how Summit-scale cases run.
+//   - RealDisk: data is also written to the host filesystem so plotfile
+//     round-trip tests and external tooling can read it.
+//
+// # Sharded ledger architecture
+//
+// The FileSystem is written to concurrently by every simulated rank
+// goroutine of an mpisim SPMD program, so its hot path is sharded by
+// rank: each rank owns a private ledger segment and clock, guarded by a
+// per-shard mutex that is uncontended in SPMD use (only rank r's
+// goroutine writes through rank r). No global lock is taken per write.
+// Burst contention is a bandwidth snapshot taken once at BeginBurst and
+// read atomically by every write, instead of a shared-lock acquisition
+// per write.
+//
+// # Determinism guarantee
+//
+// Ledger, TotalBytes and Clock merge or read the shards on demand. The
+// merged ledger order is a contract callers may rely on: ascending rank,
+// then each rank's own program order — independent of goroutine
+// scheduling, worker-pool size, or wall-clock interleaving. Every
+// quantity derived from the ledger (BurstStats, Characterize, the
+// campaign figures) is therefore bit-reproducible across runs, and a
+// parallel campaign's ledgers are byte-identical to a serial one's.
+// Records carry Start timestamps for callers that want time ordering
+// instead. Jitter is a pure function of (Seed, rank, path) — an inline
+// FNV-1a hash, no shared RNG state — so it survives resharding and
+// concurrency unchanged.
+//
+// # Per-link contention model
+//
+// By default every burst shares one aggregate bandwidth pool
+// (Config.AggregateBandwidth split across BeginBurst writers, capped per
+// writer). Setting Config.Topology refines this into a
+// distribution-mapping-aware per-link model: ranks are packed onto
+// compute nodes (block placement), each node's NIC bandwidth is split
+// across the writers placed on it, and each storage target's (GPFS NSD
+// server's) bandwidth is split across the writers fanned into it.
+// BeginBurst snapshots one effective bandwidth per (rank, target) link,
+// so two writers packed on one node contend even when the backend is
+// idle, while spread placements don't. Ledger records gain (Node, Target)
+// labels, and BurstStats/Characterize gain per-node and per-link skew
+// aggregations. The zero Topology keeps the historical aggregate model
+// byte-identical — durations, records, statistics and renderings are
+// pinned by a property test. Topology.ExchangeTime prices rank-pair
+// traffic (e.g. amr mesh-exchange volumes) on the same node/NIC
+// vocabulary, so compute and I/O traffic share one contention model.
+package iosim

@@ -1,31 +1,3 @@
-// Package iosim models the parallel filesystem the paper's runs wrote to
-// (Summit's GPFS-based Alpine). It provides a deterministic performance
-// model — shared aggregate bandwidth with per-writer caps, per-open
-// latency, and seeded lognormal jitter — plus a ledger of every write so
-// the analysis layer can reconstruct per-(step, level, rank) output sizes,
-// which are the quantities the paper measures.
-//
-// Three backends are supported:
-//
-//   - ModelOnly: no bytes touch the real disk; only the ledger and the
-//     simulated clock advance. This is how Summit-scale cases run.
-//   - RealDisk: data is also written to the host filesystem so plotfile
-//     round-trip tests and external tooling can read it.
-//   - Both timing models apply identically; the backend only controls
-//     materialization.
-//
-// # Sharded ledger architecture
-//
-// The FileSystem is written to concurrently by every simulated rank
-// goroutine of an mpisim SPMD program, so its hot path is sharded by
-// rank: each rank owns a private ledger segment and clock, guarded by a
-// per-shard mutex that is uncontended in SPMD use (only rank r's
-// goroutine writes through rank r). No global lock is taken per write.
-// Burst contention is a bandwidth snapshot taken once at BeginBurst and
-// read atomically by every write, instead of a shared-lock acquisition
-// per write. Ledger, TotalBytes and Clock merge or read the shards on
-// demand; the merged ledger order is deterministic — ascending rank,
-// then each rank's program order — regardless of goroutine scheduling.
 package iosim
 
 import (
@@ -66,6 +38,10 @@ type Config struct {
 	JitterSigma float64
 	// Seed makes the jitter deterministic.
 	Seed int64
+	// Topology enables the distribution-mapping-aware per-link contention
+	// model (per-node NIC caps, per-target NSD fan-in). The zero value
+	// keeps the aggregate model byte-identical to historical behavior.
+	Topology Topology
 }
 
 // DefaultConfig returns a Summit-flavored model: 2.5 TB/s aggregate (the
@@ -101,6 +77,13 @@ type WriteRecord struct {
 	// Dir marks a zero-byte directory-creation (metadata) record, so
 	// file-count audits can separate data files from directories.
 	Dir bool
+	// Node and Target identify the link the write moved over when the
+	// topology model is enabled: the writer's compute node and the storage
+	// target its file fanned into. Both are -1 under the aggregate model,
+	// and Target is -1 for metadata (Dir) records, which go to the
+	// metadata service rather than an NSD data target.
+	Node   int
+	Target int
 }
 
 // shard is one rank's private slice of the filesystem state. Its mutex is
@@ -124,6 +107,16 @@ type FileSystem struct {
 	// the current contention state, snapshotted at BeginBurst/EndBurst.
 	burstBW atomic.Uint64
 
+	// link is the per-rank link-bandwidth table for the current burst
+	// when the topology model is enabled; nil between bursts and under
+	// the aggregate model, in which case burstBW alone applies.
+	link atomic.Pointer[linkSnapshot]
+
+	// rpn is the most recently resolved ranks-per-node packing, used to
+	// label ledger records with their node between bursts. Updated at
+	// BeginBurst; meaningful only when cfg.Topology is enabled.
+	rpn atomic.Int64
+
 	// shards[rank] is rank's ledger segment. The slice only grows;
 	// growth happens under growMu with copy-on-write publication so the
 	// hot path is a single atomic pointer load.
@@ -139,6 +132,7 @@ func New(cfg Config, root string) *FileSystem {
 	empty := []*shard{}
 	fs.shards.Store(&empty)
 	fs.burstBW.Store(math.Float64bits(snapshotBandwidth(cfg, 0)))
+	fs.rpn.Store(int64(cfg.Topology.ranksPerNode(0)))
 	return fs
 }
 
@@ -167,23 +161,53 @@ func (fs *FileSystem) Config() Config { return fs.cfg }
 // BeginBurst declares that n writers participate in the upcoming I/O burst.
 // The contention model divides the aggregate bandwidth among them; the
 // resulting per-writer share is snapshotted here and read atomically by
-// every write until EndBurst, so no write takes a shared lock. The
-// plotfile and MACSio writers call this once per dump with the number of
-// ranks that will write. EndBurst resets to uncontended mode.
+// every write until EndBurst, so no write takes a shared lock. With an
+// enabled Topology the snapshot is per (rank, target) link instead of one
+// scalar: each rank's share is additionally capped by its node's NIC
+// (split across that node's writers) and its storage target's bandwidth
+// (split across the writers fanned into it). The plotfile and MACSio
+// writers call this once per dump with the number of ranks that will
+// write. EndBurst resets to uncontended mode.
 func (fs *FileSystem) BeginBurst(n int) {
 	fs.burstBW.Store(math.Float64bits(snapshotBandwidth(fs.cfg, n)))
+	if t := fs.cfg.Topology; t.Enabled() && n > 0 {
+		// The snapshot is a pure function of (cfg, n), so repeated
+		// BeginBurst(n) calls — MACSio's SPMD loop issues one per rank per
+		// dump — reuse the published table instead of recomputing the
+		// O(n) shares n times per burst.
+		if snap := fs.link.Load(); snap == nil || len(snap.perRank) != n {
+			fs.rpn.Store(int64(t.ranksPerNode(n)))
+			fs.link.Store(t.snapshot(fs.cfg, n))
+		}
+	}
 	fs.ensureShards(n)
 }
 
 // EndBurst marks the end of the current burst.
 func (fs *FileSystem) EndBurst() {
 	fs.burstBW.Store(math.Float64bits(snapshotBandwidth(fs.cfg, 0)))
+	fs.link.Store(nil)
 }
 
-// effectiveBandwidth returns the per-writer bandwidth under the current
-// contention snapshot.
-func (fs *FileSystem) effectiveBandwidth() float64 {
+// effectiveBandwidth returns rank's per-writer bandwidth under the current
+// contention snapshot: the per-link table during a topology burst (ranks
+// outside the declared burst fall back to the scalar), the scalar
+// aggregate snapshot otherwise.
+func (fs *FileSystem) effectiveBandwidth(rank int) float64 {
+	if snap := fs.link.Load(); snap != nil && rank < len(snap.perRank) {
+		return snap.perRank[rank]
+	}
 	return math.Float64frombits(fs.burstBW.Load())
+}
+
+// linkOf returns the (node, target) labels for a data write by rank, or
+// (-1, -1) under the aggregate model.
+func (fs *FileSystem) linkOf(rank int) (node, target int) {
+	t := fs.cfg.Topology
+	if !t.Enabled() {
+		return -1, -1
+	}
+	return t.nodeOf(rank, int(fs.rpn.Load())), t.TargetOf(rank)
 }
 
 // shardFor returns rank's shard, growing the shard table if needed.
@@ -285,8 +309,9 @@ func (fs *FileSystem) write(rank int, path string, nbytes int64, data []byte, la
 		}
 	}
 
-	bw := fs.effectiveBandwidth()
+	bw := fs.effectiveBandwidth(rank)
 	dur := (fs.cfg.OpenLatency + float64(nbytes)/bw) * fs.jitter(rank, path)
+	node, target := fs.linkOf(rank)
 	s := fs.shardFor(rank)
 	s.mu.Lock()
 	start := s.clock
@@ -294,6 +319,7 @@ func (fs *FileSystem) write(rank int, path string, nbytes int64, data []byte, la
 	s.records = append(s.records, WriteRecord{
 		Rank: rank, Path: path, Bytes: nbytes,
 		Start: start, Duration: dur, Labels: labels,
+		Node: node, Target: target,
 	})
 	s.bytes += nbytes
 	s.mu.Unlock()
@@ -312,6 +338,7 @@ func (fs *FileSystem) Mkdir(rank int, path string, labels Labels) error {
 			return fmt.Errorf("iosim: mkdir %s: %w", path, err)
 		}
 	}
+	node, _ := fs.linkOf(rank)
 	s := fs.shardFor(rank)
 	s.mu.Lock()
 	start := s.clock
@@ -320,6 +347,7 @@ func (fs *FileSystem) Mkdir(rank int, path string, labels Labels) error {
 		Rank: rank, Path: path,
 		Start: start, Duration: fs.cfg.OpenLatency,
 		Labels: labels, Dir: true,
+		Node: node, Target: -1,
 	})
 	s.mu.Unlock()
 	return nil
@@ -379,6 +407,8 @@ func (fs *FileSystem) Reset() {
 	fs.shards.Store(&empty)
 	fs.growMu.Unlock()
 	fs.burstBW.Store(math.Float64bits(snapshotBandwidth(fs.cfg, 0)))
+	fs.link.Store(nil)
+	fs.rpn.Store(int64(fs.cfg.Topology.ranksPerNode(0)))
 }
 
 // TotalBytes sums all recorded writes from the per-shard running totals.
@@ -437,18 +467,38 @@ type BurstStat struct {
 	MeanSeconds  float64 // mean over participating ranks
 	EffectiveBW  float64 // Bytes / WallSeconds
 	Participants int
+	// Stragglers counts participating ranks whose time in this burst
+	// exceeds 1.5x the mean — the tail that sets the bulk-synchronous
+	// wall time.
+	Stragglers int
+
+	// Per-link aggregations, populated only when ledger records carry
+	// topology labels (Node >= 0); all zero under the aggregate model.
+	Nodes           int     // distinct compute nodes participating
+	Links           int     // distinct (node, target) links carrying data
+	MaxLinkSeconds  float64 // busiest link's transfer time
+	MeanLinkSeconds float64 // mean transfer time across links
+	LinkSkew        float64 // MaxLinkSeconds / MeanLinkSeconds (1 = balanced)
+	NodeSkew        float64 // max/mean bytes per node (1 = balanced)
 }
+
+// burstLink keys one (node, target) link of a burst.
+type burstLink struct{ node, target int }
 
 // BurstStats computes per-step burst summaries from the ledger, modeling
 // the bulk-synchronous "compute then burst" pattern the paper describes.
 // Directory records contribute their metadata latency to the per-rank
-// burst time but are counted separately from data files.
+// burst time but are counted separately from data files. Records labeled
+// by the topology model additionally produce the per-node and per-link
+// skew fields, which expose where a burst is NIC- or fan-in-bound.
 func BurstStats(records []WriteRecord) []BurstStat {
 	type acc struct {
-		bytes   int64
-		files   int
-		dirs    int
-		perRank map[int]float64
+		bytes     int64
+		files     int
+		dirs      int
+		perRank   map[int]float64
+		perLink   map[burstLink]float64
+		nodeBytes map[int]int64
 	}
 	bySteps := map[int]*acc{}
 	for _, r := range records {
@@ -464,6 +514,16 @@ func BurstStats(records []WriteRecord) []BurstStat {
 			a.files++
 		}
 		a.perRank[r.Rank] += r.Duration
+		if r.Node >= 0 {
+			if a.perLink == nil {
+				a.perLink = map[burstLink]float64{}
+				a.nodeBytes = map[int]int64{}
+			}
+			a.nodeBytes[r.Node] += r.Bytes
+			if !r.Dir {
+				a.perLink[burstLink{r.Node, r.Target}] += r.Duration
+			}
+		}
 	}
 	steps := make([]int, 0, len(bySteps))
 	for s := range bySteps {
@@ -486,9 +546,32 @@ func BurstStats(records []WriteRecord) []BurstStat {
 		}
 		if len(a.perRank) > 0 {
 			st.MeanSeconds = sum / float64(len(a.perRank))
+			for _, d := range a.perRank {
+				if d > 1.5*st.MeanSeconds {
+					st.Stragglers++
+				}
+			}
 		}
 		if wall > 0 {
 			st.EffectiveBW = float64(a.bytes) / wall
+		}
+		if len(a.nodeBytes) > 0 {
+			st.Nodes = len(a.nodeBytes)
+			st.NodeSkew = bytesImbalance(a.nodeBytes)
+		}
+		if len(a.perLink) > 0 {
+			st.Links = len(a.perLink)
+			var linkSum float64
+			for _, d := range a.perLink {
+				if d > st.MaxLinkSeconds {
+					st.MaxLinkSeconds = d
+				}
+				linkSum += d
+			}
+			st.MeanLinkSeconds = linkSum / float64(len(a.perLink))
+			if st.MeanLinkSeconds > 0 {
+				st.LinkSkew = st.MaxLinkSeconds / st.MeanLinkSeconds
+			}
 		}
 		out = append(out, st)
 	}

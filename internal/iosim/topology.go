@@ -1,0 +1,219 @@
+package iosim
+
+import "math"
+
+// Distribution-mapping-aware per-link contention model.
+//
+// The aggregate model (Config.AggregateBandwidth shared by all writers)
+// reproduces the paper's published Summit/Alpine numbers, but real
+// pre-exascale I/O cost is set by where writers land relative to the
+// storage hardware: every compute node has a finite NIC injection
+// bandwidth, and a GPFS file system fans writes into a fixed set of NSD
+// servers, each with its own service rate. Two writers packed onto one
+// node contend for that node's NIC even when the backend is idle; a
+// thousand writers striped across 77 NSD servers contend per server, not
+// per file system. A Topology describes that placement so BeginBurst can
+// snapshot a per-(rank, target) link bandwidth instead of one global rate.
+//
+// The zero Topology disables the model entirely: every duration, ledger
+// record, burst statistic and characterization is byte-identical to the
+// aggregate model (property-tested), so existing configurations are
+// unaffected unless they opt in.
+
+// Topology describes rank placement and storage fan-in for the per-link
+// contention model. The zero value disables it (Enabled returns false).
+type Topology struct {
+	// Nodes is the number of compute nodes; 0 disables the topology model.
+	Nodes int
+	// RanksPerNode fixes the packed block placement: rank r lives on node
+	// (r / RanksPerNode) % Nodes. When 0, the packing is derived at each
+	// BeginBurst as ceil(writers/Nodes) — the jsrun-style dense layout.
+	RanksPerNode int
+	// NICBandwidth caps one node's injection bandwidth in bytes/second
+	// (shared by all ranks placed on that node). 0 means uncapped.
+	NICBandwidth float64
+	// Targets is the number of storage targets (GPFS NSD servers). Rank r
+	// writes through target r % Targets, the round-robin placement GPFS
+	// striping produces for an N-to-N burst. 0 means no target modeling.
+	Targets int
+	// TargetBandwidth caps one target's service rate in bytes/second,
+	// shared by every writer fanned into it. 0 means uncapped.
+	TargetBandwidth float64
+}
+
+// Summit-like published constants used by SummitTopology.
+const (
+	// SummitNICBandwidth is a Summit node's dual-rail EDR InfiniBand
+	// injection bandwidth (~2 x 12.5 GB/s).
+	SummitNICBandwidth = 25e9
+	// AlpineNSDServers is the number of NSD servers behind Summit's
+	// Alpine GPFS file system.
+	AlpineNSDServers = 77
+)
+
+// SummitTopology returns a Summit/Alpine-flavored topology for the given
+// node count: 25 GB/s NIC per node and the aggregate Alpine bandwidth
+// split across its 77 NSD servers. RanksPerNode is left 0 (derived per
+// burst); use TopologyForCase to pin it from a rank count.
+func SummitTopology(nodes int) Topology {
+	return Topology{
+		Nodes:           nodes,
+		NICBandwidth:    SummitNICBandwidth,
+		Targets:         AlpineNSDServers,
+		TargetBandwidth: DefaultConfig().AggregateBandwidth / AlpineNSDServers,
+	}
+}
+
+// TopologyForCase derives the Summit topology for a campaign case shape:
+// nprocs ranks packed onto nodes compute nodes, ceil(nprocs/nodes) per
+// node. nodes <= 0 returns the zero (disabled) topology.
+func TopologyForCase(nodes, nprocs int) Topology {
+	if nodes <= 0 {
+		return Topology{}
+	}
+	t := SummitTopology(nodes)
+	if nprocs > 0 {
+		t.RanksPerNode = (nprocs + nodes - 1) / nodes
+	}
+	return t
+}
+
+// Enabled reports whether the per-link model is active.
+func (t Topology) Enabled() bool { return t.Nodes > 0 }
+
+// ranksPerNode resolves the packing for a burst of n writers: the explicit
+// RanksPerNode when set, else ceil(n/Nodes), else 1.
+func (t Topology) ranksPerNode(n int) int {
+	if t.RanksPerNode > 0 {
+		return t.RanksPerNode
+	}
+	if n > 0 && t.Nodes > 0 {
+		return (n + t.Nodes - 1) / t.Nodes
+	}
+	return 1
+}
+
+// NodeOf returns the compute node hosting rank under packed block
+// placement for a job of nprocs ranks: node (rank/rpn) % Nodes. Ranks
+// beyond Nodes*rpn wrap, so sparse rank ids stay well-defined. Disabled
+// topologies return -1.
+func (t Topology) NodeOf(rank, nprocs int) int {
+	if !t.Enabled() || rank < 0 {
+		return -1
+	}
+	return t.nodeOf(rank, t.ranksPerNode(nprocs))
+}
+
+func (t Topology) nodeOf(rank, rpn int) int {
+	return (rank / rpn) % t.Nodes
+}
+
+// TargetOf returns the storage target rank's data files fan into
+// (round-robin), or -1 when targets are not modeled.
+func (t Topology) TargetOf(rank int) int {
+	if !t.Enabled() || t.Targets <= 0 || rank < 0 {
+		return -1
+	}
+	return rank % t.Targets
+}
+
+// linkSnapshot is the per-burst bandwidth table BeginBurst publishes when
+// the topology is enabled: perRank[r] is rank r's effective per-link
+// bandwidth under the declared contention (NIC sharing on its node, fan-in
+// sharing on its target, and the aggregate/per-writer baseline). Ranks at
+// or beyond len(perRank) — writers outside the declared burst — fall back
+// to the scalar snapshot, matching the aggregate model's semantics.
+type linkSnapshot struct {
+	perRank []float64
+}
+
+// snapshot computes the per-rank link bandwidths for an n-writer burst.
+func (t Topology) snapshot(cfg Config, n int) *linkSnapshot {
+	rpn := t.ranksPerNode(n)
+	nodeWriters := make([]int, t.Nodes)
+	var targetWriters []int
+	if t.Targets > 0 {
+		targetWriters = make([]int, t.Targets)
+	}
+	for r := 0; r < n; r++ {
+		nodeWriters[t.nodeOf(r, rpn)]++
+		if targetWriters != nil {
+			targetWriters[r%t.Targets]++
+		}
+	}
+	base := snapshotBandwidth(cfg, n)
+	perRank := make([]float64, n)
+	for r := range perRank {
+		bw := base
+		if t.NICBandwidth > 0 {
+			if share := t.NICBandwidth / float64(nodeWriters[t.nodeOf(r, rpn)]); share < bw {
+				bw = share
+			}
+		}
+		if targetWriters != nil && t.TargetBandwidth > 0 {
+			if share := t.TargetBandwidth / float64(targetWriters[r%t.Targets]); share < bw {
+				bw = share
+			}
+		}
+		if bw <= 0 {
+			bw = 1
+		}
+		perRank[r] = bw
+	}
+	return &linkSnapshot{perRank: perRank}
+}
+
+// PairBytes attributes a traffic volume to a (source rank, destination
+// rank) pair. The AMR layer produces these from its cached communication
+// plans (amr.FillBoundaryTraffic), so mesh-exchange traffic and the
+// checkpoint/plot bursts recorded in the ledger share one contention
+// vocabulary.
+type PairBytes struct {
+	Src   int
+	Dst   int
+	Bytes int64
+}
+
+// ExchangeTime estimates the wall time of a bulk-synchronous exchange of
+// the given rank-pair volumes on this topology for a job of nprocs ranks.
+// Cross-node pairs load the source node's transmit side and the
+// destination node's receive side of the NIC (full duplex: a node's cost
+// is max(tx, rx)/NICBandwidth); same-node pairs move at intraNodeBW
+// (0 = free, the shared-memory assumption). The burst completes when the
+// busiest node finishes, so the result is the max over nodes. A disabled
+// topology, or one without a NIC cap, prices cross-node traffic at zero.
+func (t Topology) ExchangeTime(pairs []PairBytes, nprocs int, intraNodeBW float64) float64 {
+	if !t.Enabled() {
+		return 0
+	}
+	rpn := t.ranksPerNode(nprocs)
+	tx := make([]float64, t.Nodes)
+	rx := make([]float64, t.Nodes)
+	intra := make([]float64, t.Nodes)
+	for _, p := range pairs {
+		if p.Src < 0 || p.Dst < 0 || p.Bytes <= 0 {
+			continue
+		}
+		sn, dn := t.nodeOf(p.Src, rpn), t.nodeOf(p.Dst, rpn)
+		if sn == dn {
+			intra[sn] += float64(p.Bytes)
+			continue
+		}
+		tx[sn] += float64(p.Bytes)
+		rx[dn] += float64(p.Bytes)
+	}
+	var wall float64
+	for n := 0; n < t.Nodes; n++ {
+		var tn float64
+		if t.NICBandwidth > 0 {
+			tn = math.Max(tx[n], rx[n]) / t.NICBandwidth
+		}
+		if intraNodeBW > 0 {
+			tn += intra[n] / intraNodeBW
+		}
+		if tn > wall {
+			wall = tn
+		}
+	}
+	return wall
+}

@@ -1,13 +1,3 @@
-// Package mpisim is an in-process message-passing runtime that stands in
-// for MPI on Summit in the paper's experiments. Each simulated rank runs as
-// a goroutine executing the same SPMD function; ranks communicate through
-// tagged point-to-point messages and the collectives the AMR driver and the
-// plotfile/MACSio writers need (barrier, broadcast, reduce, gather).
-//
-// Semantics follow MPI's eager protocol: Send never blocks (messages are
-// buffered at the destination mailbox), Recv blocks until a message with a
-// matching (source, tag) pair arrives. Matching messages from one source
-// with one tag are delivered in send order.
 package mpisim
 
 import (

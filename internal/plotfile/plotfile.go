@@ -1,26 +1,3 @@
-// Package plotfile implements the AMReX plotfile output format the paper's
-// Fig. 2 diagrams: a per-step directory containing a top-level Header and
-// job_info, and one Level_N subdirectory per mesh level holding an ASCII
-// Cell_H metadata file plus binary Cell_D_XXXXX data files written in the
-// N-to-N pattern — one file per MPI task per level, and only when the task
-// owns data at that level.
-//
-// The writer runs as an SPMD program under mpisim (rank 0 writes the
-// metadata, every rank writes its own Cell_D file) and routes all bytes
-// through the iosim filesystem model, labeling each record with
-// (step, level) so the analysis layer can reconstruct the paper's Eq. (2)
-// hierarchy of output sizes.
-//
-// A size-only path (WriteSizes) produces byte-for-byte identical ledger
-// entries without materializing field data; the Summit-scale surrogate
-// pipeline uses it.
-//
-// Encoders are allocation-frugal by design: encodeCellD preallocates the
-// exact CellDBytes buffer and emits float64 rows with math.Float64bits —
-// one allocation per Cell_D file, no reflection — and the ASCII metadata
-// encoders (EncodeHeader, EncodeCellH) are strconv-append builders rather
-// than per-box fmt.Fprintf calls. Their outputs are pinned byte-identical
-// to the original fmt/binary.Write encoders by equivalence tests.
 package plotfile
 
 import (

@@ -1,0 +1,142 @@
+package report
+
+import (
+	"fmt"
+	"strings"
+
+	"amrproxyio/internal/iosim"
+)
+
+// Per-link renderings for the topology contention model: where a burst's
+// bytes landed (compute node, storage target) and how skewed the links
+// were — the distribution-mapping-aware view the aggregate bandwidth
+// number hides.
+
+// TopologyReport renders per-node and per-target aggregations plus a
+// per-burst link-skew table from a topology-labeled ledger. Ledgers
+// written under the aggregate model (no Node labels) produce a short
+// explanatory note instead.
+func TopologyReport(ledger []iosim.WriteRecord) string {
+	nodeBytes := map[int]int64{}
+	nodeSecs := map[int]float64{}
+	targetBytes := map[int]int64{}
+	labeled := false
+	for _, r := range ledger {
+		if r.Node < 0 {
+			continue
+		}
+		labeled = true
+		nodeBytes[r.Node] += r.Bytes
+		nodeSecs[r.Node] += r.Duration
+		if r.Target >= 0 {
+			targetBytes[r.Target] += r.Bytes
+		}
+	}
+	if !labeled {
+		return "topology report: ledger carries no link labels (aggregate model; " +
+			"set iosim.Config.Topology to enable the per-link contention model)\n"
+	}
+
+	var sb strings.Builder
+	sb.WriteString("Per-link I/O decomposition (topology model)\n")
+
+	var nodeRows [][]string
+	for _, n := range SortedIntKeys(nodeBytes) {
+		nodeRows = append(nodeRows, []string{
+			fmt.Sprintf("%d", n),
+			HumanBytes(nodeBytes[n]),
+			fmt.Sprintf("%.4gs", nodeSecs[n]),
+		})
+	}
+	sb.WriteString(Table([]string{"node", "bytes", "busy"}, nodeRows))
+
+	if len(targetBytes) > 0 {
+		// Targets can be numerous (Alpine has 77); summarize the extremes.
+		keys := SortedIntKeys(targetBytes)
+		var min, max int64 = -1, 0
+		var total int64
+		for _, k := range keys {
+			b := targetBytes[k]
+			total += b
+			if b > max {
+				max = b
+			}
+			if min < 0 || b < min {
+				min = b
+			}
+		}
+		mean := float64(total) / float64(len(keys))
+		fmt.Fprintf(&sb, "targets: %d in use, bytes min %s  mean %s  max %s\n",
+			len(keys), HumanBytes(min), HumanBytes(int64(mean)), HumanBytes(max))
+	}
+
+	var burstRows [][]string
+	for _, b := range iosim.BurstStats(ledger) {
+		if b.Nodes == 0 {
+			continue
+		}
+		burstRows = append(burstRows, []string{
+			fmt.Sprintf("%d", b.Step),
+			fmt.Sprintf("%d", b.Nodes),
+			fmt.Sprintf("%d", b.Links),
+			fmt.Sprintf("%.3f", b.LinkSkew),
+			fmt.Sprintf("%.3f", b.NodeSkew),
+			fmt.Sprintf("%d", b.Stragglers),
+		})
+	}
+	if len(burstRows) > 0 {
+		sb.WriteString(Table(
+			[]string{"step", "nodes", "links", "link-skew", "node-skew", "stragglers"},
+			burstRows))
+	}
+	return sb.String()
+}
+
+// LinkSummary reduces a topology-labeled ledger to one line: worst
+// per-burst link skew, worst node skew, and total stragglers — the
+// compact per-case form amrio-campaign prints for a sweep. Unlabeled
+// ledgers return "aggregate model".
+func LinkSummary(ledger []iosim.WriteRecord) string {
+	var maxLink, maxNode float64
+	stragglers := 0
+	labeled := false
+	for _, b := range iosim.BurstStats(ledger) {
+		if b.Nodes == 0 {
+			continue
+		}
+		labeled = true
+		if b.LinkSkew > maxLink {
+			maxLink = b.LinkSkew
+		}
+		if b.NodeSkew > maxNode {
+			maxNode = b.NodeSkew
+		}
+		stragglers += b.Stragglers
+	}
+	if !labeled {
+		return "aggregate model"
+	}
+	return fmt.Sprintf("link-skew %.3f  node-skew %.3f  stragglers %d",
+		maxLink, maxNode, stragglers)
+}
+
+// FigLinks plots per-node cumulative bytes from a topology-labeled
+// ledger — the distribution-mapping companion to Fig. 8's per-task view.
+func FigLinks(ledger []iosim.WriteRecord) *Plot {
+	p := NewPlot("Per-node output bytes (topology model)", "node", "bytes")
+	nodeBytes := map[int]int64{}
+	for _, r := range ledger {
+		if r.Node >= 0 {
+			nodeBytes[r.Node] += r.Bytes
+		}
+	}
+	nodes := SortedIntKeys(nodeBytes)
+	xs := make([]float64, len(nodes))
+	ys := make([]float64, len(nodes))
+	for i, n := range nodes {
+		xs[i] = float64(n)
+		ys[i] = float64(nodeBytes[n])
+	}
+	p.Add("bytes", xs, ys)
+	return p
+}

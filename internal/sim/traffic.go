@@ -1,0 +1,48 @@
+package sim
+
+import (
+	"sort"
+
+	"amrproxyio/internal/amr"
+	"amrproxyio/internal/iosim"
+)
+
+// Mesh-traffic view of the hierarchy: the same cached communication plans
+// that drive ghost exchange also yield per-rank-pair byte volumes, so the
+// solver's halo traffic and its checkpoint/plot bursts can be priced by
+// one topology contention model (iosim.Topology).
+
+// ExchangeTraffic returns the per-rank-pair ghost-exchange volume of the
+// current hierarchy — every level's FillBoundary traffic for the solver's
+// stencil width and conserved components, summed per (src, dst) pair and
+// sorted. Feed it to iosim.Topology.ExchangeTime to estimate the halo
+// cost per step under per-node NIC caps.
+func (s *Sim) ExchangeTraffic() []iosim.PairBytes {
+	var perLevel [][]amr.PairTraffic
+	for _, lev := range s.Levels {
+		perLevel = append(perLevel, amr.FillBoundaryTraffic(lev.BA, lev.DM, nGhost, lev.State.NComp))
+	}
+	return MergeExchangeTraffic(perLevel)
+}
+
+// MergeExchangeTraffic sums per-level rank-pair volumes into one sorted
+// set of contention-model pairs (shared with the surrogate runner).
+func MergeExchangeTraffic(perLevel [][]amr.PairTraffic) []iosim.PairBytes {
+	agg := map[[2]int]int64{}
+	for _, pairs := range perLevel {
+		for _, p := range pairs {
+			agg[[2]int{p.Src, p.Dst}] += p.Bytes
+		}
+	}
+	out := make([]iosim.PairBytes, 0, len(agg))
+	for k, b := range agg {
+		out = append(out, iosim.PairBytes{Src: k[0], Dst: k[1], Bytes: b})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Src != out[j].Src {
+			return out[i].Src < out[j].Src
+		}
+		return out[i].Dst < out[j].Dst
+	})
+	return out
+}

@@ -1,0 +1,55 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"amrproxyio/internal/inputs"
+	"amrproxyio/internal/iosim"
+)
+
+func TestExchangeTrafficDeterministicAndPriced(t *testing.T) {
+	cfg := inputs.DefaultCastroInputs()
+	cfg.NCell = [2]int{64, 64}
+	cfg.MaxLevel = 1
+	cfg.NProcs = 4
+	cfg.MaxGridSize = 16
+	cfg.BlockingFactor = 8
+	s, err := New(cfg, DefaultOptions(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	traffic := s.ExchangeTraffic()
+	if len(traffic) == 0 {
+		t.Fatal("a 4-rank multi-box hierarchy must exchange ghosts")
+	}
+	if !reflect.DeepEqual(traffic, s.ExchangeTraffic()) {
+		t.Fatal("ExchangeTraffic is not deterministic")
+	}
+	for i := 1; i < len(traffic); i++ {
+		a, b := traffic[i-1], traffic[i]
+		if a.Src > b.Src || (a.Src == b.Src && a.Dst >= b.Dst) {
+			t.Fatal("traffic not sorted by (src, dst)")
+		}
+	}
+
+	// Packing all 4 ranks on one node makes the exchange free of NIC
+	// traffic; spreading them across 4 nodes prices every cross-rank pair.
+	packed := iosim.Topology{Nodes: 1, NICBandwidth: 1e9}
+	spread := iosim.Topology{Nodes: 4, RanksPerNode: 1, NICBandwidth: 1e9}
+	if got := packed.ExchangeTime(traffic, cfg.NProcs, 0); got != 0 {
+		t.Errorf("single-node exchange time = %g, want 0", got)
+	}
+	var cross bool
+	for _, p := range traffic {
+		if p.Src != p.Dst {
+			cross = true
+		}
+	}
+	if !cross {
+		t.Fatal("expected cross-rank traffic in a 4-rank decomposition")
+	}
+	if got := spread.ExchangeTime(traffic, cfg.NProcs, 0); got <= 0 {
+		t.Errorf("4-node exchange time = %g, want > 0", got)
+	}
+}
