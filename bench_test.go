@@ -19,6 +19,7 @@ import (
 	"amrproxyio/internal/amr"
 	"amrproxyio/internal/campaign"
 	"amrproxyio/internal/core"
+	"amrproxyio/internal/grid"
 	"amrproxyio/internal/hydro"
 	"amrproxyio/internal/inputs"
 	"amrproxyio/internal/iosim"
@@ -497,7 +498,9 @@ func BenchmarkAblationDistributionMapping(b *testing.B) {
 			for k := 0; k < 250; k++ {
 				r.Advance()
 			}
-			r.Rebuild()
+			if err := r.Rebuild(); err != nil {
+				b.Fatal(err)
+			}
 			if err := r.WritePlot(); err != nil {
 				b.Fatal(err)
 			}
@@ -541,7 +544,9 @@ func BenchmarkAblationClustering(b *testing.B) {
 			for k := 0; k < 250; k++ {
 				r.Advance()
 			}
-			r.Rebuild()
+			if err := r.Rebuild(); err != nil {
+				b.Fatal(err)
+			}
 			cells := r.BAs[len(r.BAs)-1].NumPts()
 			boxes := r.BAs[len(r.BAs)-1].Len()
 			b.ReportMetric(float64(boxes), "boxes-eff"+effTag(eff))
@@ -781,6 +786,29 @@ func BenchmarkShardedFilesystem(b *testing.B) {
 		}
 	}
 	b.ReportMetric(float64(ranks*writes)*float64(b.N)/b.Elapsed().Seconds(), "writes/s")
+}
+
+// BenchmarkDistribute sweeps the three distribution strategies over a
+// 1024-box level — the per-regrid cost of every placement experiment.
+func BenchmarkDistribute(b *testing.B) {
+	dom := grid.NewBox(grid.IV(0, 0), grid.IV(1023, 1023))
+	ba := amr.SingleBoxArray(dom, 32, 8) // 32x32 grid of boxes = 1024
+	if ba.Len() != 1024 {
+		b.Fatalf("setup: %d boxes", ba.Len())
+	}
+	for _, strat := range amr.DistStrategies() {
+		b.Run(strat.String(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				dm, err := amr.Distribute(ba, 64, strat)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(dm.Owner) != 1024 {
+					b.Fatal("bad mapping")
+				}
+			}
+		})
+	}
 }
 
 // BenchmarkHydroStep measures the solver's per-step cost on a 128^2 box.

@@ -4,7 +4,8 @@
 //
 // Usage:
 //
-//	amrio-campaign [-quick] [-filter case4] [-outdir results/] [-parallel N] [-topology]
+//	amrio-campaign [-quick] [-filter case4] [-outdir results/] [-parallel N]
+//	               [-topology] [-dist roundrobin,knapsack,sfc] [-remap]
 //
 // -quick (default) runs the campaign scaled for minutes-scale execution;
 // -quick=false runs paper-scale cases (hours; Summit-scale cases still use
@@ -19,6 +20,15 @@
 // onto its Summit node count, per-node NIC caps and Alpine NSD fan-in
 // apply, and the per-case output gains a link-skew summary (plus a full
 // per-node report when a -filter narrows the sweep to a few cases).
+//
+// -dist expands every selected case into the distribution-mapping
+// cross-product (one run per named strategy) and, after the sweep,
+// prints a per-base-case DistReport comparing burst skew, stragglers,
+// and per-target fan-in across strategies. -remap additionally turns on
+// the inter-burst layout reorganization (amr.RemapToTargets): before
+// every dump the rank→storage-target placement is rebalanced to the
+// hierarchy's per-rank load (effective with -topology, which models the
+// targets being rebalanced).
 package main
 
 import (
@@ -48,6 +58,10 @@ func run() error {
 	parallel := flag.Int("parallel", 0, "worker-pool size (0 = all cores, 1 = serial)")
 	topology := flag.Bool("topology", false,
 		"model per-link contention (node NIC caps + NSD fan-in) instead of one aggregate pool")
+	dist := flag.String("dist", "",
+		"comma-separated distribution-mapping strategies to sweep (roundrobin,knapsack,sfc); expands every case")
+	remap := flag.Bool("remap", false,
+		"reorganize the rank->target layout between bursts (amr.RemapToTargets; effective with -topology)")
 	flag.Parse()
 
 	all := campaign.PaperCampaign()
@@ -67,6 +81,27 @@ func run() error {
 		}
 	}
 
+	var dists []campaign.Dist
+	baseCases := cases
+	if *dist != "" {
+		for _, name := range strings.Split(*dist, ",") {
+			d, err := campaign.ParseDist(strings.TrimSpace(name))
+			if err != nil {
+				return err
+			}
+			dists = append(dists, d)
+		}
+		cases = campaign.SweepDist(cases, dists...)
+	}
+	if *remap {
+		for i := range cases {
+			cases[i].Remap = true
+		}
+	}
+
+	// Ledgers are retained per case while its summary is computed, then
+	// freed; the dist sweep keeps only the compact DistSummary rows.
+	keepLedgers := *topology || len(dists) > 0
 	var mu sync.Mutex
 	ledgers := map[string]*iosim.FileSystem{}
 	results, err := campaign.RunAll(cases, *parallel, func(c campaign.Case) *iosim.FileSystem {
@@ -75,7 +110,7 @@ func run() error {
 			cfg.Topology = c.Topology()
 		}
 		fs := iosim.New(cfg, "")
-		if *topology {
+		if keepLedgers {
 			mu.Lock()
 			ledgers[c.Name] = fs
 			mu.Unlock()
@@ -86,20 +121,26 @@ func run() error {
 		return err
 	}
 	var linkReports []string
+	distSums := map[string]report.DistSummary{}
 	for i, res := range results {
 		c := cases[i]
 		line := fmt.Sprintf("%-18s %-9s %9s in %8v (%d plots)",
 			c.Name, res.Engine, report.HumanBytes(res.TotalBytes()), res.Wall.Round(1e6), res.NPlots)
 		if fs := ledgers[c.Name]; fs != nil {
 			ledger := fs.Ledger()
-			line += "  [" + report.LinkSummary(ledger) + "]"
-			// A narrowed sweep gets the full per-node decomposition too.
-			if len(cases) <= 4 {
-				linkReports = append(linkReports,
-					fmt.Sprintf("%s:\n%s", c.Name, report.TopologyReport(ledger)))
+			if *topology {
+				line += "  [" + report.LinkSummary(ledger) + "]"
+				// A narrowed sweep gets the full per-node decomposition too.
+				if len(cases) <= 4 {
+					linkReports = append(linkReports,
+						fmt.Sprintf("%s:\n%s", c.Name, report.TopologyReport(ledger)))
+				}
 			}
-			// Each case's ledger is only needed for its own summary; free
-			// it now so a large -topology sweep doesn't hold every case's
+			if len(dists) > 0 {
+				distSums[c.Name] = report.SummarizeDist(string(c.Dist), ledger)
+			}
+			// Each case's ledger is only needed for its own summaries;
+			// free it now so a large sweep doesn't hold every case's
 			// write records until process exit.
 			fs.Reset()
 			delete(ledgers, c.Name)
@@ -114,6 +155,22 @@ func run() error {
 	for _, r := range linkReports {
 		fmt.Println()
 		fmt.Print(r)
+	}
+	// The distribution-mapping comparison: one DistReport per base case,
+	// strategies side by side with deltas against the first.
+	if len(dists) > 0 {
+		for _, base := range baseCases {
+			var sums []report.DistSummary
+			for _, d := range dists {
+				if s, ok := distSums[campaign.SweepName(base.Name, d)]; ok {
+					sums = append(sums, s)
+				}
+			}
+			if len(sums) > 0 {
+				fmt.Println()
+				fmt.Printf("%s distribution-mapping comparison:\n%s", base.Name, report.DistReport(sums))
+			}
+		}
 	}
 	fmt.Println()
 	fmt.Println(report.TableIII(results))

@@ -12,6 +12,12 @@
 // mesh-exchange traffic is priced on the same topology, so compute and
 // I/O traffic share one contention model.
 //
+// The closing section is the distribution-mapping experiment: one
+// Summit-scale case swept across roundrobin/knapsack/sfc placements
+// (campaign.SweepDist + report.DistReport), then the inter-burst layout
+// reorganization (Wan et al., amr.RemapToTargets) rebalancing the
+// rank→target fan-in of the round-robin placement.
+//
 //	go run ./examples/scalingstudy
 package main
 
@@ -110,4 +116,46 @@ func main() {
 	fmt.Println(p.Render())
 	fmt.Printf("kernel MAPE at scale: %.3f%% (the paper: 'kernels in the vicinity'\n", mape)
 	fmt.Println(" of the measured values; non-smooth jumps only approximated)")
+
+	// Distribution-mapping experiment layer: the same Summit-scale case
+	// swept across the three mapping strategies on the per-link model.
+	// 1024 ranks fan into Alpine's 77 NSD targets, so placement decides
+	// which targets collide.
+	distCase := campaign.Case{
+		Name: "dist_32768", NCell: 32768, MaxLevel: 2,
+		MaxStep: 20, PlotInt: 10, CFL: 0.5,
+		NProcs: 1024, Nodes: 512, Engine: campaign.EngineSurrogate,
+	}
+	fmt.Println("\nDistribution-mapping sweep (32768^2, 1024 ranks, per-link model):")
+	var runs []report.DistRun
+	for _, c := range campaign.SweepDist([]campaign.Case{distCase}) {
+		cfg := iosim.DefaultConfig()
+		cfg.Topology = c.Topology()
+		fs := iosim.New(cfg, "")
+		if _, err := campaign.Run(c, fs); err != nil {
+			log.Fatal(err)
+		}
+		runs = append(runs, report.DistRun{Dist: string(c.Dist), Ledger: fs.Ledger()})
+	}
+	fmt.Print(report.DistReportRuns(runs))
+	fmt.Println(report.FigDistSkew(runs).Render())
+
+	// The inter-burst layout reorganization (Wan et al.) on top of the
+	// round-robin placement: amr.RemapToTargets rebalances the
+	// rank→target fan-in from the hierarchy's per-rank load before each
+	// dump.
+	remapped := distCase
+	remapped.Dist = campaign.DistRoundRobin
+	remapped.Remap = true
+	remapCfg := iosim.DefaultConfig()
+	remapCfg.Topology = remapped.Topology()
+	remapFS := iosim.New(remapCfg, "")
+	if _, err := campaign.Run(remapped, remapFS); err != nil {
+		log.Fatal(err)
+	}
+	before := report.SummarizeDist("roundrobin", runs[0].Ledger)
+	after := report.SummarizeDist("roundrobin+remap", remapFS.Ledger())
+	fmt.Printf("inter-burst remap: max target fan-in %s -> %s (imbalance %.3f -> %.3f)\n",
+		report.HumanBytes(before.MaxTargetBytes), report.HumanBytes(after.MaxTargetBytes),
+		before.TargetImbalance, after.TargetImbalance)
 }

@@ -239,8 +239,28 @@ func (s DistStrategy) String() string {
 	}
 }
 
-// Distribute builds a DistributionMapping for ba over nprocs ranks.
-func Distribute(ba BoxArray, nprocs int, strategy DistStrategy) DistributionMapping {
+// DistStrategies lists every decomposition algorithm, in declaration
+// order — the sweep set for distribution-mapping experiments.
+func DistStrategies() []DistStrategy {
+	return []DistStrategy{DistRoundRobin, DistKnapsack, DistSFC}
+}
+
+// ParseDistStrategy resolves a strategy name (the String() forms:
+// "roundrobin", "knapsack", "sfc"). Unknown names are an error, mirroring
+// the campaign's unknown-engine handling.
+func ParseDistStrategy(name string) (DistStrategy, error) {
+	for _, s := range DistStrategies() {
+		if s.String() == name {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("amr: unknown distribution strategy %q", name)
+}
+
+// Distribute builds a DistributionMapping for ba over nprocs ranks. An
+// unrecognized strategy is an error (unknown experiment configurations
+// must not silently fall back to a default mapping).
+func Distribute(ba BoxArray, nprocs int, strategy DistStrategy) (DistributionMapping, error) {
 	n := ba.Len()
 	owner := make([]int, n)
 	if nprocs < 1 {
@@ -267,15 +287,22 @@ func Distribute(ba BoxArray, nprocs int, strategy DistStrategy) DistributionMapp
 			return items[a].idx < items[b].idx // deterministic tie-break
 		})
 		load := make([]int64, nprocs)
+		count := make([]int, nprocs)
 		for _, it := range items {
+			// Least-loaded rank; ties go to the rank with fewer boxes
+			// (then the lower index), so degenerate zero-cell boxes still
+			// spread instead of piling onto one rank and every rank owns
+			// a box whenever there are enough boxes.
 			best := 0
 			for r := 1; r < nprocs; r++ {
-				if load[r] < load[best] {
+				if load[r] < load[best] ||
+					(load[r] == load[best] && count[r] < count[best]) {
 					best = r
 				}
 			}
 			owner[it.idx] = best
 			load[best] += it.pts
+			count[best]++
 		}
 	case DistSFC:
 		type item struct {
@@ -296,20 +323,47 @@ func Distribute(ba BoxArray, nprocs int, strategy DistStrategy) DistributionMapp
 			}
 			return items[a].idx < items[b].idx
 		})
+		// Zero-cell degeneracy: with total == 0 every load cut fires at
+		// once (perRank is 0), so weight boxes equally instead and the
+		// curve still chops into balanced contiguous chunks.
+		weight := func(pts int64) int64 { return pts }
+		if total == 0 {
+			weight = func(int64) int64 { return 1 }
+			total = int64(n)
+		}
 		perRank := float64(total) / float64(nprocs)
 		var acc int64
-		rank := 0
-		for _, it := range items {
-			if rank < nprocs-1 && float64(acc) >= perRank*float64(rank+1) {
-				rank++
+		rank, placed := 0, 0
+		for k, it := range items {
+			// Advance the cut when the accumulated load passes this
+			// rank's share — but never before the rank owns a box, and
+			// always when the remaining boxes are only just enough to
+			// give every remaining rank one (so n >= nprocs implies every
+			// rank ends up with at least one box).
+			if rank < nprocs-1 && placed > 0 {
+				if n-k <= nprocs-1-rank || float64(acc) >= perRank*float64(rank+1) {
+					rank++
+					placed = 0
+				}
 			}
 			owner[it.idx] = rank
-			acc += it.pts
+			placed++
+			acc += weight(it.pts)
 		}
 	default:
-		panic(fmt.Sprintf("amr: unknown distribution strategy %d", strategy))
+		return DistributionMapping{}, fmt.Errorf("amr: unknown distribution strategy %d", strategy)
 	}
-	return DistributionMapping{Owner: owner}
+	return DistributionMapping{Owner: owner}, nil
+}
+
+// MustDistribute is Distribute for callers whose strategy is statically
+// known-valid (tests, benchmarks, examples); it panics on error.
+func MustDistribute(ba BoxArray, nprocs int, strategy DistStrategy) DistributionMapping {
+	dm, err := Distribute(ba, nprocs, strategy)
+	if err != nil {
+		panic(err)
+	}
+	return dm
 }
 
 // RankBoxes returns the box indices owned by rank.

@@ -260,7 +260,7 @@ func TestEnforceNesting(t *testing.T) {
 func TestTagGradient(t *testing.T) {
 	dom := grid.NewBox(grid.IV(0, 0), grid.IV(31, 31))
 	ba := SingleBoxArray(dom, 16, 8)
-	mf := NewMultiFab(ba, Distribute(ba, 1, DistRoundRobin), 1, 1)
+	mf := NewMultiFab(ba, MustDistribute(ba, 1, DistRoundRobin), 1, 1)
 	// Step function at i = 16: gradient cells there should tag.
 	mf.ForEachFAB(func(_ int, f *FAB) {
 		for j := f.DataBox.Lo.Y; j <= f.DataBox.Hi.Y; j++ {

@@ -206,7 +206,7 @@ func randomTiling(rng *rand.Rand, region grid.Box, keep float64) BoxArray {
 // randomMultiFab builds a MultiFab over ba with every data-box cell
 // (ghosts included) set to a deterministic pseudo-random value.
 func randomMultiFab(rng *rand.Rand, ba BoxArray, ncomp, nghost int) *MultiFab {
-	dm := Distribute(ba, rng.Intn(4)+1, DistRoundRobin)
+	dm := MustDistribute(ba, rng.Intn(4)+1, DistRoundRobin)
 	mf := NewMultiFab(ba, dm, ncomp, nghost)
 	for _, f := range mf.FABs {
 		for k := range f.Data {
@@ -278,7 +278,7 @@ func TestExchangeVolumeAndDistributedMatchNaive(t *testing.T) {
 	for iter := 0; iter < 10; iter++ {
 		ba := randomTiling(rng, dom, 0.85)
 		nprocs := rng.Intn(4) + 1
-		dm := Distribute(ba, nprocs, DistKnapsack)
+		dm := MustDistribute(ba, nprocs, DistKnapsack)
 		fast := NewMultiFab(ba, dm, 2, 2)
 		for _, f := range fast.FABs {
 			for k := range f.Data {

@@ -12,7 +12,7 @@ import (
 func buildExchangeFixture(nprocs int, strategy DistStrategy) *MultiFab {
 	dom := grid.NewBox(grid.IV(0, 0), grid.IV(15, 15))
 	ba := SingleBoxArray(dom, 8, 8)
-	dm := Distribute(ba, nprocs, strategy)
+	dm := MustDistribute(ba, nprocs, strategy)
 	mf := NewMultiFab(ba, dm, 2, 2)
 	for idx, f := range mf.FABs {
 		for j := f.ValidBox.Lo.Y; j <= f.ValidBox.Hi.Y; j++ {
@@ -96,8 +96,8 @@ func TestExchangeVolumeDependsOnMapping(t *testing.T) {
 	// round-robin's.
 	dom := grid.NewBox(grid.IV(0, 0), grid.IV(63, 63))
 	ba := SingleBoxArray(dom, 8, 8) // 64 boxes
-	rr := NewMultiFab(ba, Distribute(ba, 8, DistRoundRobin), 1, 1)
-	sfc := NewMultiFab(ba, Distribute(ba, 8, DistSFC), 1, 1)
+	rr := NewMultiFab(ba, MustDistribute(ba, 8, DistRoundRobin), 1, 1)
+	sfc := NewMultiFab(ba, MustDistribute(ba, 8, DistSFC), 1, 1)
 	if sfc.ExchangeVolume() > rr.ExchangeVolume() {
 		t.Errorf("SFC volume %d > round-robin volume %d",
 			sfc.ExchangeVolume(), rr.ExchangeVolume())

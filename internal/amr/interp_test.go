@@ -11,7 +11,7 @@ import (
 func makeCoarse(fn func(i, j int) float64, nghost int) *MultiFab {
 	dom := grid.NewBox(grid.IV(0, 0), grid.IV(15, 15))
 	ba := SingleBoxArray(dom, 16, 1)
-	mf := NewMultiFab(ba, Distribute(ba, 1, DistRoundRobin), 1, nghost)
+	mf := NewMultiFab(ba, MustDistribute(ba, 1, DistRoundRobin), 1, nghost)
 	mf.ForEachFAB(func(_ int, f *FAB) {
 		for j := f.DataBox.Lo.Y; j <= f.DataBox.Hi.Y; j++ {
 			for i := f.DataBox.Lo.X; i <= f.DataBox.Hi.X; i++ {
@@ -76,11 +76,11 @@ func TestInterpConservation(t *testing.T) {
 func TestAverageDown(t *testing.T) {
 	cdom := grid.NewBox(grid.IV(0, 0), grid.IV(7, 7))
 	cba := SingleBoxArray(cdom, 8, 1)
-	crse := NewMultiFab(cba, Distribute(cba, 1, DistRoundRobin), 1, 0)
+	crse := NewMultiFab(cba, MustDistribute(cba, 1, DistRoundRobin), 1, 0)
 	crse.FillConst(0, -1)
 
 	fba := NewBoxArray([]grid.Box{grid.NewBox(grid.IV(4, 4), grid.IV(11, 11))})
-	fine := NewMultiFab(fba, Distribute(fba, 1, DistRoundRobin), 1, 0)
+	fine := NewMultiFab(fba, MustDistribute(fba, 1, DistRoundRobin), 1, 0)
 	fine.ForEachFAB(func(_ int, f *FAB) {
 		for j := f.ValidBox.Lo.Y; j <= f.ValidBox.Hi.Y; j++ {
 			for i := f.ValidBox.Lo.X; i <= f.ValidBox.Hi.X; i++ {
@@ -102,7 +102,7 @@ func TestAverageDown(t *testing.T) {
 func TestFillOutflowBC(t *testing.T) {
 	dom := grid.NewBox(grid.IV(0, 0), grid.IV(7, 7))
 	ba := SingleBoxArray(dom, 8, 1)
-	mf := NewMultiFab(ba, Distribute(ba, 1, DistRoundRobin), 1, 2)
+	mf := NewMultiFab(ba, MustDistribute(ba, 1, DistRoundRobin), 1, 2)
 	mf.ForEachFAB(func(_ int, f *FAB) {
 		for j := f.ValidBox.Lo.Y; j <= f.ValidBox.Hi.Y; j++ {
 			for i := f.ValidBox.Lo.X; i <= f.ValidBox.Hi.X; i++ {
@@ -132,7 +132,7 @@ func TestFillPatchCombinesSameLevelAndCoarse(t *testing.T) {
 	// also reach outside the fine union (coarse interp).
 	cdom := grid.NewBox(grid.IV(0, 0), grid.IV(15, 15))
 	cba := SingleBoxArray(cdom, 16, 1)
-	crse := NewMultiFab(cba, Distribute(cba, 1, DistRoundRobin), 1, 1)
+	crse := NewMultiFab(cba, MustDistribute(cba, 1, DistRoundRobin), 1, 1)
 	crse.FillConst(0, 7)
 
 	fdom := cdom.Refine(2)
@@ -140,7 +140,7 @@ func TestFillPatchCombinesSameLevelAndCoarse(t *testing.T) {
 		grid.NewBox(grid.IV(8, 8), grid.IV(15, 15)),
 		grid.NewBox(grid.IV(16, 8), grid.IV(23, 15)),
 	})
-	fine := NewMultiFab(fba, Distribute(fba, 1, DistRoundRobin), 1, 2)
+	fine := NewMultiFab(fba, MustDistribute(fba, 1, DistRoundRobin), 1, 2)
 	fine.FABs[0].FillConst(0, 1)
 	fine.FABs[1].FillConst(0, 2)
 	// Reset valid-region values explicitly (FillConst hit ghosts too).
@@ -173,7 +173,7 @@ func TestFillPatchCombinesSameLevelAndCoarse(t *testing.T) {
 func TestFillPatchLevel0NoCoarse(t *testing.T) {
 	dom := grid.NewBox(grid.IV(0, 0), grid.IV(15, 15))
 	ba := SingleBoxArray(dom, 8, 8)
-	mf := NewMultiFab(ba, Distribute(ba, 1, DistRoundRobin), 1, 2)
+	mf := NewMultiFab(ba, MustDistribute(ba, 1, DistRoundRobin), 1, 2)
 	mf.ForEachFAB(func(_ int, f *FAB) {
 		for j := f.ValidBox.Lo.Y; j <= f.ValidBox.Hi.Y; j++ {
 			for i := f.ValidBox.Lo.X; i <= f.ValidBox.Hi.X; i++ {

@@ -76,7 +76,7 @@ func TestNewFABPanics(t *testing.T) {
 func TestMultiFabFillBoundary(t *testing.T) {
 	dom := grid.NewBox(grid.IV(0, 0), grid.IV(15, 15))
 	ba := SingleBoxArray(dom, 8, 8) // 4 boxes
-	dm := Distribute(ba, 2, DistRoundRobin)
+	dm := MustDistribute(ba, 2, DistRoundRobin)
 	mf := NewMultiFab(ba, dm, 1, 2)
 	// Value = i + 100*j over valid cells.
 	mf.ForEachFAB(func(_ int, f *FAB) {
@@ -108,7 +108,7 @@ func TestMultiFabFillBoundary(t *testing.T) {
 func TestMultiFabReductionsAndValueAt(t *testing.T) {
 	dom := grid.NewBox(grid.IV(0, 0), grid.IV(15, 15))
 	ba := SingleBoxArray(dom, 8, 8)
-	mf := NewMultiFab(ba, Distribute(ba, 1, DistRoundRobin), 1, 0)
+	mf := NewMultiFab(ba, MustDistribute(ba, 1, DistRoundRobin), 1, 0)
 	mf.ForEachFAB(func(_ int, f *FAB) {
 		for j := f.ValidBox.Lo.Y; j <= f.ValidBox.Hi.Y; j++ {
 			for i := f.ValidBox.Lo.X; i <= f.ValidBox.Hi.X; i++ {
@@ -142,10 +142,10 @@ func TestMultiFabReductionsAndValueAt(t *testing.T) {
 
 func TestMultiFabCopyInto(t *testing.T) {
 	dom := grid.NewBox(grid.IV(0, 0), grid.IV(15, 15))
-	src := NewMultiFab(SingleBoxArray(dom, 8, 8), Distribute(SingleBoxArray(dom, 8, 8), 1, DistRoundRobin), 1, 0)
+	src := NewMultiFab(SingleBoxArray(dom, 8, 8), MustDistribute(SingleBoxArray(dom, 8, 8), 1, DistRoundRobin), 1, 0)
 	src.FillConst(0, 5)
 	dstBA := SingleBoxArray(dom, 16, 8) // different layout: one box
-	dst := NewMultiFab(dstBA, Distribute(dstBA, 1, DistRoundRobin), 1, 1)
+	dst := NewMultiFab(dstBA, MustDistribute(dstBA, 1, DistRoundRobin), 1, 1)
 	src.CopyInto(dst)
 	if v, _ := dst.ValueAt(grid.IV(9, 9), 0); v != 5 {
 		t.Errorf("copied value = %g", v)
@@ -155,7 +155,7 @@ func TestMultiFabCopyInto(t *testing.T) {
 func TestBytesPerRank(t *testing.T) {
 	dom := grid.NewBox(grid.IV(0, 0), grid.IV(15, 15))
 	ba := SingleBoxArray(dom, 8, 8) // 4 boxes of 64 cells
-	dm := Distribute(ba, 2, DistRoundRobin)
+	dm := MustDistribute(ba, 2, DistRoundRobin)
 	mf := NewMultiFab(ba, dm, 4, 0)
 	per := mf.BytesPerRank(2)
 	if per[0] != 2*64*4*8 || per[1] != 2*64*4*8 {

@@ -32,7 +32,7 @@ func TestFillBoundaryTrafficMatchesNaive(t *testing.T) {
 	dom := grid.NewBox(grid.IV(0, 0), grid.IV(31, 31))
 	ba := SingleBoxArray(dom, 8, 8)
 	for _, nprocs := range []int{1, 3, 4, 16} {
-		dm := Distribute(ba, nprocs, DistKnapsack)
+		dm := MustDistribute(ba, nprocs, DistKnapsack)
 		got := FillBoundaryTraffic(ba, dm, 2, 4)
 		want := naivePairTraffic(ba, dm, 2, 4)
 		gotMap := map[[2]int]int64{}
@@ -53,8 +53,8 @@ func TestFillBoundaryTrafficMatchesNaive(t *testing.T) {
 func TestFillBoundaryTrafficCachedPerMapping(t *testing.T) {
 	dom := grid.NewBox(grid.IV(0, 0), grid.IV(15, 15))
 	ba := SingleBoxArray(dom, 8, 8)
-	dmA := Distribute(ba, 2, DistRoundRobin)
-	dmB := Distribute(ba, 4, DistRoundRobin)
+	dmA := MustDistribute(ba, 2, DistRoundRobin)
+	dmB := MustDistribute(ba, 4, DistRoundRobin)
 
 	first := FillBoundaryTraffic(ba, dmA, 1, 2)
 	_, missBefore := PlanCacheStats()

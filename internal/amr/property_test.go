@@ -64,7 +64,7 @@ func TestDistributeProperty(t *testing.T) {
 		ba := NewBoxArray(boxes)
 		nprocs := rng.Intn(16) + 1
 		for _, strat := range []DistStrategy{DistRoundRobin, DistKnapsack, DistSFC} {
-			dm := Distribute(ba, nprocs, strat)
+			dm := MustDistribute(ba, nprocs, strat)
 			if len(dm.Owner) != ba.Len() {
 				t.Fatalf("%v: owner count", strat)
 			}
@@ -75,7 +75,7 @@ func TestDistributeProperty(t *testing.T) {
 			}
 		}
 		// Knapsack bound: max load <= mean + largest box.
-		dm := Distribute(ba, nprocs, DistKnapsack)
+		dm := MustDistribute(ba, nprocs, DistKnapsack)
 		load := dm.LoadPerRank(ba, nprocs)
 		var total, maxLoad, maxBox int64
 		for _, l := range load {
@@ -103,10 +103,10 @@ func TestRestrictionProlongationProperty(t *testing.T) {
 	cdom := grid.NewBox(grid.IV(0, 0), grid.IV(15, 15))
 	cba := SingleBoxArray(cdom, 16, 1)
 	for iter := 0; iter < 20; iter++ {
-		crse := NewMultiFab(cba, Distribute(cba, 1, DistRoundRobin), 1, 1)
+		crse := NewMultiFab(cba, MustDistribute(cba, 1, DistRoundRobin), 1, 1)
 		fdom := cdom.Refine(2)
 		fba := SingleBoxArray(fdom, 32, 1)
-		fine := NewMultiFab(fba, Distribute(fba, 1, DistRoundRobin), 1, 0)
+		fine := NewMultiFab(fba, MustDistribute(fba, 1, DistRoundRobin), 1, 0)
 		// Fill fine with values constant per coarse cell.
 		want := map[grid.IntVect]float64{}
 		for j := 0; j < 16; j++ {

@@ -1,0 +1,111 @@
+package amr
+
+import (
+	"sort"
+
+	"amrproxyio/internal/iosim"
+)
+
+// Inter-burst layout reorganization (Wan et al., "Improving I/O
+// Performance for Exascale Applications through Online Data Layout
+// Reorganization"): instead of the static round-robin rank%Targets
+// placement GPFS striping produces, ranks are repacked onto storage
+// targets between checkpoint/plot bursts so each target's byte fan-in
+// matches the load the distribution mapping actually put on each rank.
+
+// RemapToTargets builds a rank→storage-target map for the upcoming I/O
+// burst. dm and loads describe the burst in the shape the AMR hierarchy
+// produces: loads[i] is the write volume of box i (cells or bytes) and
+// dm.Owner[i] its writing rank — pass the concatenation over levels for
+// a multi-level dump. The greedy is LPT: heaviest rank first onto the
+// least-loaded target (ties to the lowest target index), which keeps the
+// max per-target fan-in within the classic 4/3 bound of optimal.
+//
+// A nil result means "keep the round-robin layout": topologies without
+// target modeling, empty bursts, and — because LPT's bound is relative
+// to optimal, not to round-robin, so the greedy can occasionally land
+// above the incumbent — any burst where LPT does not strictly reduce
+// the max per-target fan-in. That final comparison makes the invariant
+// "remap never worsens fan-in" true by construction, and since uniform
+// loads tie LPT with round-robin, it also keeps balanced hierarchies on
+// the identity layout (both pinned by tests). A non-nil result covers
+// ranks 0..maxOwner; install it with iosim.FileSystem.Retarget (or
+// Topology.TargetMap). Ranks beyond the map fall back to round-robin
+// there.
+func RemapToTargets(dm DistributionMapping, topo iosim.Topology, loads []int64) []int {
+	if !topo.Enabled() || topo.Targets <= 0 || len(dm.Owner) == 0 {
+		return nil
+	}
+	nprocs := 0
+	for _, o := range dm.Owner {
+		if o+1 > nprocs {
+			nprocs = o + 1
+		}
+	}
+	if nprocs == 0 {
+		return nil
+	}
+	perRank := make([]int64, nprocs)
+	for i, o := range dm.Owner {
+		if o >= 0 && i < len(loads) {
+			perRank[o] += loads[i]
+		}
+	}
+	// LPT order: load descending, rank ascending on ties (the stable sort
+	// keeps rank order, which is what makes uniform loads reproduce the
+	// round-robin identity).
+	order := make([]int, nprocs)
+	for r := range order {
+		order[r] = r
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return perRank[order[a]] > perRank[order[b]]
+	})
+	targetLoad := make([]int64, topo.Targets)
+	targetRanks := make([]int, topo.Targets)
+	out := make([]int, nprocs)
+	for _, r := range order {
+		best := 0
+		for tgt := 1; tgt < topo.Targets; tgt++ {
+			if targetLoad[tgt] < targetLoad[best] ||
+				(targetLoad[tgt] == targetLoad[best] && targetRanks[tgt] < targetRanks[best]) {
+				best = tgt
+			}
+		}
+		out[r] = best
+		targetLoad[best] += perRank[r]
+		targetRanks[best]++
+	}
+	if maxLoad(targetLoad) >= maxLoad(FanInLoads(perRank, nil, topo.Targets)) {
+		return nil // LPT did not beat the incumbent round-robin layout
+	}
+	return out
+}
+
+func maxLoad(loads []int64) int64 {
+	var m int64
+	for _, l := range loads {
+		if l > m {
+			m = l
+		}
+	}
+	return m
+}
+
+// FanInLoads accumulates per-target load under a rank→target map (nil
+// selects round-robin), the quantity RemapToTargets balances; reports
+// and tests use it to compare layouts.
+func FanInLoads(perRank []int64, targetMap []int, targets int) []int64 {
+	if targets <= 0 {
+		return nil
+	}
+	out := make([]int64, targets)
+	for r, l := range perRank {
+		tgt := r % targets
+		if r < len(targetMap) && targetMap[r] >= 0 && targetMap[r] < targets {
+			tgt = targetMap[r]
+		}
+		out[tgt] += l
+	}
+	return out
+}

@@ -1,0 +1,144 @@
+package amr
+
+import (
+	"math/rand"
+	"testing"
+
+	"amrproxyio/internal/iosim"
+)
+
+func topoWithTargets(targets int) iosim.Topology {
+	return iosim.Topology{Nodes: 1, Targets: targets, TargetBandwidth: 1e9}
+}
+
+// maxFanIn is the quantity RemapToTargets minimizes: the busiest
+// target's total load under a rank→target map (nil = round-robin).
+func maxFanIn(perRank []int64, m []int, targets int) int64 {
+	var worst int64
+	for _, l := range FanInLoads(perRank, m, targets) {
+		if l > worst {
+			worst = l
+		}
+	}
+	return worst
+}
+
+// perRankLoads extracts the per-rank totals the way RemapToTargets does.
+func perRankLoads(dm DistributionMapping, loads []int64, nprocs int) []int64 {
+	out := make([]int64, nprocs)
+	for i, o := range dm.Owner {
+		out[o] += loads[i]
+	}
+	return out
+}
+
+// TestRemapIdentityOnUniformLoads: uniform per-rank loads keep the
+// round-robin placement (nil = no remap) — the identity that keeps
+// remap-enabled runs byte-identical on balanced hierarchies.
+func TestRemapIdentityOnUniformLoads(t *testing.T) {
+	for _, targets := range []int{1, 3, 8, 77} {
+		dm := DistributionMapping{Owner: []int{0, 1, 2, 3, 4, 5, 6, 7}}
+		loads := []int64{10, 10, 10, 10, 10, 10, 10, 10}
+		if m := RemapToTargets(dm, topoWithTargets(targets), loads); m != nil {
+			t.Fatalf("targets=%d: uniform loads remapped to %v, want nil (keep round-robin)", targets, m)
+		}
+	}
+}
+
+// TestRemapIdentityOnZeroLoads: an all-zero burst must also keep the
+// round-robin layout (nothing to balance, nothing to perturb).
+func TestRemapIdentityOnZeroLoads(t *testing.T) {
+	dm := DistributionMapping{Owner: []int{0, 1, 2, 3, 4}}
+	if m := RemapToTargets(dm, topoWithTargets(3), make([]int64, 5)); m != nil {
+		t.Fatalf("zero loads remapped to %v, want nil", m)
+	}
+}
+
+// TestRemapKeepsRoundRobinWhenLPTIsWorse is the regression for the LPT
+// pitfall: the greedy's 4/3 bound is relative to optimal, not to the
+// incumbent, so it can produce a layout strictly worse than round-robin
+// — here loads [4,2,0,3,3,2] on 2 targets give round-robin max 7 but
+// LPT max 8. RemapToTargets must detect that and keep round-robin.
+func TestRemapKeepsRoundRobinWhenLPTIsWorse(t *testing.T) {
+	dm := DistributionMapping{Owner: []int{0, 1, 2, 3, 4, 5}}
+	loads := []int64{4, 2, 0, 3, 3, 2}
+	if m := RemapToTargets(dm, topoWithTargets(2), loads); m != nil {
+		per := perRankLoads(dm, loads, 6)
+		t.Fatalf("LPT-worse burst remapped to %v (fan-in %d vs round-robin %d), want nil",
+			m, maxFanIn(per, m, 2), maxFanIn(per, nil, 2))
+	}
+}
+
+// TestRemapDisabledTopology: no target modeling, no remap.
+func TestRemapDisabledTopology(t *testing.T) {
+	dm := DistributionMapping{Owner: []int{0, 1}}
+	loads := []int64{1, 2}
+	if m := RemapToTargets(dm, iosim.Topology{}, loads); m != nil {
+		t.Errorf("disabled topology remap = %v, want nil", m)
+	}
+	if m := RemapToTargets(dm, iosim.Topology{Nodes: 2}, loads); m != nil {
+		t.Errorf("targetless topology remap = %v, want nil", m)
+	}
+	if m := RemapToTargets(DistributionMapping{}, topoWithTargets(2), nil); m != nil {
+		t.Errorf("empty mapping remap = %v, want nil", m)
+	}
+}
+
+// TestRemapReducesSkewedFanIn is the acceptance fixture: a skewed
+// per-rank load where round-robin collides the two heavy ranks on one
+// target; the remap must strictly reduce the max per-target fan-in.
+func TestRemapReducesSkewedFanIn(t *testing.T) {
+	// Ranks 0 and 2 are heavy; with 2 targets round-robin puts both on
+	// target 0 (load 200) while target 1 idles at 2.
+	dm := DistributionMapping{Owner: []int{0, 1, 2, 3}}
+	loads := []int64{100, 1, 100, 1}
+	topo := topoWithTargets(2)
+	perRank := perRankLoads(dm, loads, 4)
+
+	rr := maxFanIn(perRank, nil, 2)
+	m := RemapToTargets(dm, topo, loads)
+	remapped := maxFanIn(perRank, m, 2)
+	if remapped >= rr {
+		t.Fatalf("remap max fan-in %d, round-robin %d: no improvement", remapped, rr)
+	}
+	if want := int64(101); remapped != want {
+		t.Errorf("remap max fan-in = %d, want balanced %d", remapped, want)
+	}
+}
+
+// TestRemapNeverWorseThanRoundRobin is the LPT property over random
+// skewed bursts, plus determinism of the produced maps.
+func TestRemapNeverWorseThanRoundRobin(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	for iter := 0; iter < 100; iter++ {
+		nprocs := rng.Intn(32) + 1
+		targets := rng.Intn(8) + 1
+		nb := nprocs + rng.Intn(3*nprocs)
+		owner := make([]int, nb)
+		loads := make([]int64, nb)
+		for i := range owner {
+			owner[i] = rng.Intn(nprocs)
+			loads[i] = int64(rng.Intn(1 << uint(rng.Intn(12))))
+		}
+		dm := DistributionMapping{Owner: owner}
+		topo := topoWithTargets(targets)
+		m := RemapToTargets(dm, topo, loads)
+		m2 := RemapToTargets(dm, topo, loads)
+		for r := range m {
+			if m[r] != m2[r] {
+				t.Fatalf("iter %d: remap not deterministic at rank %d", iter, r)
+			}
+			if m[r] < 0 || m[r] >= targets {
+				t.Fatalf("iter %d: target %d out of range", iter, m[r])
+			}
+		}
+		perRank := perRankLoads(dm, loads, nprocs)
+		got, rr := maxFanIn(perRank, m, targets), maxFanIn(perRank, nil, targets)
+		if got > rr {
+			t.Fatalf("iter %d: remap fan-in %d worse than round-robin %d", iter, got, rr)
+		}
+		if m != nil && got >= rr {
+			t.Fatalf("iter %d: non-nil remap without strict improvement (%d vs %d)", iter, got, rr)
+		}
+	}
+}

@@ -27,7 +27,7 @@ func scalingBA(nboxes int) BoxArray {
 
 func scalingMF(nboxes, ncomp, nghost int) *MultiFab {
 	ba := scalingBA(nboxes)
-	return NewMultiFab(ba, Distribute(ba, 8, DistKnapsack), ncomp, nghost)
+	return NewMultiFab(ba, MustDistribute(ba, 8, DistKnapsack), ncomp, nghost)
 }
 
 func reportBoxesPerSec(b *testing.B, nboxes int) {

@@ -42,6 +42,16 @@ type Case struct {
 	NProcs   int     `json:"nprocs"`
 	Nodes    int     `json:"summit_nodes"`
 	Engine   Engine  `json:"engine"`
+	// Dist selects the distribution-mapping strategy both engines build
+	// their hierarchies with. The empty string keeps the engines'
+	// historical knapsack default; unknown names are rejected by Run,
+	// like unknown engines.
+	Dist Dist `json:"dist,omitempty"`
+	// Remap enables the inter-burst layout reorganization
+	// (amr.RemapToTargets): before every dump the rank→storage-target
+	// placement is rebalanced to the hierarchy's per-rank load. Only
+	// meaningful when the case runs against a target-modeling topology.
+	Remap bool `json:"remap,omitempty"`
 }
 
 // Inputs converts a case to the Castro configuration it runs with.
@@ -132,9 +142,15 @@ func Run(c Case, fs *iosim.FileSystem) (Result, error) {
 	start := time.Now()
 	cfg := c.Inputs()
 	res := Result{Case: c, Engine: c.engineFor()}
+	strat, err := c.Dist.strategy()
+	if err != nil {
+		return res, fmt.Errorf("campaign %s: %w", c.Name, err)
+	}
 	switch res.Engine {
 	case EngineHydro:
 		opts := sim.DefaultOptions()
+		opts.Dist = strat
+		opts.Remap = c.Remap
 		s, err := sim.New(cfg, opts, fs)
 		if err != nil {
 			return res, fmt.Errorf("campaign %s: %w", c.Name, err)
@@ -147,6 +163,8 @@ func Run(c Case, fs *iosim.FileSystem) (Result, error) {
 		res.SimTime = s.Time
 	case EngineSurrogate:
 		opts := surrogate.DefaultOptions()
+		opts.Dist = strat
+		opts.Remap = c.Remap
 		r, err := surrogate.New(cfg, opts, fs)
 		if err != nil {
 			return res, fmt.Errorf("campaign %s: %w", c.Name, err)

@@ -1,0 +1,89 @@
+package campaign
+
+import (
+	"fmt"
+
+	"amrproxyio/internal/amr"
+)
+
+// Distribution-mapping experiments: the paper's Table III campaigns hold
+// the AMReX distribution mapping fixed, but under the per-link topology
+// model placement is the dominant knob for burst skew. A Case carries a
+// Dist name (JSON round-tripped like the engine), SweepDist expands a
+// case list into the strategy cross-product, and report.DistReport
+// renders the per-strategy comparison.
+
+// Dist names a distribution-mapping strategy on a Case. The empty string
+// selects the engines' historical knapsack default.
+type Dist string
+
+// The valid strategy names (amr.DistStrategy String() forms).
+const (
+	DistDefault    Dist = ""
+	DistRoundRobin Dist = "roundrobin"
+	DistKnapsack   Dist = "knapsack"
+	DistSFC        Dist = "sfc"
+)
+
+// AllDists returns the full sweep set, in amr declaration order.
+func AllDists() []Dist {
+	out := make([]Dist, 0, len(amr.DistStrategies()))
+	for _, s := range amr.DistStrategies() {
+		out = append(out, Dist(s.String()))
+	}
+	return out
+}
+
+// ParseDist validates a strategy name, rejecting unknown names the same
+// way unknown engines are rejected.
+func ParseDist(name string) (Dist, error) {
+	if name == "" {
+		return DistDefault, nil
+	}
+	s, err := amr.ParseDistStrategy(name)
+	if err != nil {
+		return "", fmt.Errorf("campaign: %w", err)
+	}
+	return Dist(s.String()), nil
+}
+
+// strategy resolves the name for the engines; "" keeps the historical
+// knapsack default (sim/surrogate DefaultOptions).
+func (d Dist) strategy() (amr.DistStrategy, error) {
+	if d == DistDefault {
+		return amr.DistKnapsack, nil
+	}
+	return amr.ParseDistStrategy(string(d))
+}
+
+// SweepDist expands cases into the strategy × topology cross-product:
+// every case, which carries its own Summit topology shape (Nodes,
+// NProcs), times every strategy, named "<case>_<dist>". No explicit
+// dists means all three. The expansion preserves case order —
+// strategies vary fastest — so results group naturally per base case.
+func SweepDist(cases []Case, dists ...Dist) []Case {
+	if len(dists) == 0 {
+		dists = AllDists()
+	}
+	out := make([]Case, 0, len(cases)*len(dists))
+	for _, c := range cases {
+		for _, d := range dists {
+			v := c
+			v.Dist = d
+			v.Name = SweepName(c.Name, d)
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// SweepName is the name SweepDist gives the (base case, strategy) member
+// of a sweep — exported so consumers grouping sweep results back onto
+// their base cases never re-derive the convention by hand.
+func SweepName(base string, d Dist) string {
+	suffix := string(d)
+	if suffix == "" {
+		suffix = "default"
+	}
+	return fmt.Sprintf("%s_%s", base, suffix)
+}

@@ -35,4 +35,17 @@
 // it in an iosim.Config to model per-node NIC caps instead of one
 // aggregate bandwidth pool. The default filesystem (newFS == nil) keeps
 // the aggregate model, preserving historical ledgers.
+//
+// # Distribution-mapping experiments
+//
+// Case.Dist selects the decomposition strategy ("roundrobin",
+// "knapsack", "sfc"; empty keeps the engines' knapsack default) and is
+// rejected by Run when unknown, like an unknown engine. SweepDist
+// expands a case list into the strategy cross-product for placement
+// studies; report.DistReport renders the per-strategy comparison.
+// Case.Remap additionally enables the inter-burst layout reorganization
+// (amr.RemapToTargets → iosim.FileSystem.Retarget), which rebalances
+// the rank→storage-target fan-in before every dump — effective only
+// when the case runs against a target-modeling topology with more
+// writing ranks than targets.
 package campaign

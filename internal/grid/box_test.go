@@ -249,21 +249,41 @@ func TestBoxDifferenceProperty(t *testing.T) {
 }
 
 func TestMortonOrdering(t *testing.T) {
-	// Morton code of (0,0) is the minimum; interleaving is monotone along
-	// the diagonal.
-	if Morton(0, 0) != 0 {
-		t.Errorf("Morton(0,0) = %d", Morton(0, 0))
+	// The unit Z pattern around any anchor: +1 in x sets the low x bit, +1
+	// in y sets the low y bit (one position up).
+	base := Morton(0, 0)
+	if Morton(1, 0) != base+1 || Morton(0, 1) != base+2 || Morton(1, 1) != base+3 {
+		t.Errorf("Morton unit cells = %d %d %d (base %d)",
+			Morton(1, 0), Morton(0, 1), Morton(1, 1), base)
 	}
-	if Morton(1, 0) != 1 || Morton(0, 1) != 2 || Morton(1, 1) != 3 {
-		t.Errorf("Morton unit cells = %d %d %d", Morton(1, 0), Morton(0, 1), Morton(1, 1))
-	}
-	prev := uint64(0)
-	for d := 1; d < 100; d++ {
+	// Monotone along the diagonal — including across the origin, which is
+	// what the sign bias buys (plain uint32 truncation wraps negatives to
+	// the top of the code range).
+	prev := Morton(-100, -100)
+	for d := -99; d < 100; d++ {
 		m := Morton(d, d)
 		if m <= prev {
 			t.Fatalf("Morton not monotone on diagonal at %d", d)
 		}
 		prev = m
+	}
+}
+
+// TestMortonNegativeCoordinates is the regression for the uint32-wrap bug:
+// negative coordinates must order below non-negative ones, not above them.
+func TestMortonNegativeCoordinates(t *testing.T) {
+	if !(Morton(-1, 0) < Morton(0, 0)) {
+		t.Errorf("Morton(-1,0)=%d not < Morton(0,0)=%d", Morton(-1, 0), Morton(0, 0))
+	}
+	if !(Morton(0, -1) < Morton(0, 0)) {
+		t.Errorf("Morton(0,-1)=%d not < Morton(0,0)=%d", Morton(0, -1), Morton(0, 0))
+	}
+	// A sequence straddling the origin along one axis stays ordered.
+	xs := []int{-8, -4, -1, 0, 1, 4, 8}
+	for i := 1; i < len(xs); i++ {
+		if !(Morton(xs[i-1], 0) < Morton(xs[i], 0)) {
+			t.Fatalf("Morton x-order broken at %d -> %d", xs[i-1], xs[i])
+		}
 	}
 }
 

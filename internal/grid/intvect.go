@@ -61,11 +61,18 @@ func floorDiv(a, b int) int {
 	return q
 }
 
-// Morton interleaves the low 31 bits of x and y into a Morton (Z-order)
+// Morton interleaves the low 32 bits of x and y into a Morton (Z-order)
 // code. It is used by the space-filling-curve distribution mapping to keep
 // spatially adjacent boxes on nearby ranks.
+//
+// Coordinates are sign-biased with an XOR 0x80000000 flip before
+// interleaving, mapping int32 order onto uint32 order. Without the bias,
+// plain uint32 truncation wraps negative coordinates to the top of the
+// code range, so a domain with a negative lo corner has its space-filling
+// curve torn at the origin and DistSFC hands spatially adjacent boxes to
+// distant ranks.
 func Morton(x, y int) uint64 {
-	return spread(uint64(uint32(x))) | spread(uint64(uint32(y)))<<1
+	return spread(uint64(uint32(x)^0x80000000)) | spread(uint64(uint32(y)^0x80000000))<<1
 }
 
 // spread inserts a zero bit between each of the low 32 bits of v.

@@ -115,7 +115,7 @@ func sod(t *testing.T, n int) []float64 {
 	dom := grid.NewBox(grid.IV(0, 0), grid.IV(199, 3))
 	geom := grid.NewGeom(dom, [2]float64{0, 0}, [2]float64{1, 0.02})
 	ba := amr.SingleBoxArray(dom, 256, 1)
-	mf := amr.NewMultiFab(ba, amr.Distribute(ba, 1, amr.DistRoundRobin), NCons, 2)
+	mf := amr.NewMultiFab(ba, amr.MustDistribute(ba, 1, amr.DistRoundRobin), NCons, 2)
 	for _, f := range mf.FABs {
 		for j := f.DataBox.Lo.Y; j <= f.DataBox.Hi.Y; j++ {
 			for i := f.DataBox.Lo.X; i <= f.DataBox.Hi.X; i++ {
@@ -181,7 +181,7 @@ func TestSweepConservation(t *testing.T) {
 	dom := grid.NewBox(grid.IV(0, 0), grid.IV(63, 63))
 	geom := grid.NewGeom(dom, [2]float64{0, 0}, [2]float64{1, 1})
 	ba := amr.SingleBoxArray(dom, 64, 1)
-	mf := amr.NewMultiFab(ba, amr.Distribute(ba, 1, amr.DistRoundRobin), NCons, 2)
+	mf := amr.NewMultiFab(ba, amr.MustDistribute(ba, 1, amr.DistRoundRobin), NCons, 2)
 	SedovIC(mf, geom, gamma, 1.0, 1e-5, 1.0, 0.1, [2]float64{0.5, 0.5})
 	mass0 := TotalMass(mf, geom)
 	energy0 := TotalEnergy(mf, geom)
@@ -208,7 +208,7 @@ func TestSedovICEnergyDeposit(t *testing.T) {
 	dom := grid.NewBox(grid.IV(0, 0), grid.IV(63, 63))
 	geom := grid.NewGeom(dom, [2]float64{0, 0}, [2]float64{1, 1})
 	ba := amr.SingleBoxArray(dom, 32, 8)
-	mf := amr.NewMultiFab(ba, amr.Distribute(ba, 2, amr.DistRoundRobin), NCons, 2)
+	mf := amr.NewMultiFab(ba, amr.MustDistribute(ba, 2, amr.DistRoundRobin), NCons, 2)
 	const E = 1.0
 	SedovIC(mf, geom, gamma, 1.0, 1e-5, E, 0.05, [2]float64{0.5, 0.5})
 	// Total energy should equal E plus the small ambient contribution.
@@ -230,7 +230,7 @@ func TestSedovICEnergyDeposit(t *testing.T) {
 func TestMaxSignalSpeed(t *testing.T) {
 	dom := grid.NewBox(grid.IV(0, 0), grid.IV(7, 7))
 	ba := amr.SingleBoxArray(dom, 8, 1)
-	mf := amr.NewMultiFab(ba, amr.Distribute(ba, 1, amr.DistRoundRobin), NCons, 0)
+	mf := amr.NewMultiFab(ba, amr.MustDistribute(ba, 1, amr.DistRoundRobin), NCons, 0)
 	w := Prim{Rho: 1, U: 3, V: -4, P: 1}
 	c := ToCons(w, gamma)
 	mf.ForEachFAB(func(_ int, f *amr.FAB) {
@@ -257,7 +257,7 @@ func TestMaxSignalSpeed(t *testing.T) {
 func TestDeriveMach(t *testing.T) {
 	dom := grid.NewBox(grid.IV(0, 0), grid.IV(3, 3))
 	ba := amr.SingleBoxArray(dom, 4, 1)
-	dm := amr.Distribute(ba, 1, amr.DistRoundRobin)
+	dm := amr.MustDistribute(ba, 1, amr.DistRoundRobin)
 	state := amr.NewMultiFab(ba, dm, NCons, 0)
 	mach := amr.NewMultiFab(ba, dm, 1, 0)
 	w := Prim{Rho: 1, U: 2 * math.Sqrt(1.4), V: 0, P: 1} // Mach 2

@@ -117,6 +117,12 @@ type FileSystem struct {
 	// BeginBurst; meaningful only when cfg.Topology is enabled.
 	rpn atomic.Int64
 
+	// retarget is the dynamically installed rank→target override
+	// (Retarget / amr.RemapToTargets); nil selects cfg.Topology's own
+	// placement. It layers over the configured TargetMap, so an
+	// inter-burst reorganization can be undone with Retarget(nil).
+	retarget atomic.Pointer[[]int]
+
 	// shards[rank] is rank's ledger segment. The slice only grows;
 	// growth happens under growMu with copy-on-write publication so the
 	// hot path is a single atomic pointer load.
@@ -152,6 +158,36 @@ func snapshotBandwidth(cfg Config, writers int) float64 {
 	return bw
 }
 
+// topology returns the effective topology: the configured one with any
+// dynamically installed TargetMap override applied.
+func (fs *FileSystem) topology() Topology {
+	t := fs.cfg.Topology
+	if m := fs.retarget.Load(); m != nil {
+		t.TargetMap = *m
+	}
+	return t
+}
+
+// Retarget installs a rank→storage-target override for subsequent bursts
+// — the inter-burst layout-reorganization hook (Wan et al.; maps come
+// from amr.RemapToTargets). A nil map restores the configured placement.
+// Retargeting is a no-op unless the topology models storage targets.
+// Like Reset, it must not race with an in-flight burst: call it between
+// bursts, which is when layout reorganization happens.
+func (fs *FileSystem) Retarget(m []int) {
+	if !fs.cfg.Topology.Enabled() || fs.cfg.Topology.Targets <= 0 {
+		return
+	}
+	if m == nil {
+		fs.retarget.Store(nil)
+	} else {
+		cp := make([]int, len(m))
+		copy(cp, m)
+		fs.retarget.Store(&cp)
+	}
+	fs.link.Store(nil) // next BeginBurst rebuilds the per-link snapshot
+}
+
 // Root returns the host root directory.
 func (fs *FileSystem) Root() string { return fs.root }
 
@@ -170,11 +206,11 @@ func (fs *FileSystem) Config() Config { return fs.cfg }
 // write. EndBurst resets to uncontended mode.
 func (fs *FileSystem) BeginBurst(n int) {
 	fs.burstBW.Store(math.Float64bits(snapshotBandwidth(fs.cfg, n)))
-	if t := fs.cfg.Topology; t.Enabled() && n > 0 {
-		// The snapshot is a pure function of (cfg, n), so repeated
-		// BeginBurst(n) calls — MACSio's SPMD loop issues one per rank per
-		// dump — reuse the published table instead of recomputing the
-		// O(n) shares n times per burst.
+	if t := fs.topology(); t.Enabled() && n > 0 {
+		// The snapshot is a pure function of (topology, n) — Retarget
+		// invalidates it — so repeated BeginBurst(n) calls — MACSio's
+		// SPMD loop issues one per rank per dump — reuse the published
+		// table instead of recomputing the O(n) shares n times per burst.
 		if snap := fs.link.Load(); snap == nil || len(snap.perRank) != n {
 			fs.rpn.Store(int64(t.ranksPerNode(n)))
 			fs.link.Store(t.snapshot(fs.cfg, n))
@@ -203,7 +239,7 @@ func (fs *FileSystem) effectiveBandwidth(rank int) float64 {
 // linkOf returns the (node, target) labels for a data write by rank, or
 // (-1, -1) under the aggregate model.
 func (fs *FileSystem) linkOf(rank int) (node, target int) {
-	t := fs.cfg.Topology
+	t := fs.topology()
 	if !t.Enabled() {
 		return -1, -1
 	}
@@ -408,6 +444,7 @@ func (fs *FileSystem) Reset() {
 	fs.growMu.Unlock()
 	fs.burstBW.Store(math.Float64bits(snapshotBandwidth(fs.cfg, 0)))
 	fs.link.Store(nil)
+	fs.retarget.Store(nil)
 	fs.rpn.Store(int64(fs.cfg.Topology.ranksPerNode(0)))
 }
 

@@ -39,6 +39,13 @@ type Topology struct {
 	// TargetBandwidth caps one target's service rate in bytes/second,
 	// shared by every writer fanned into it. 0 means uncapped.
 	TargetBandwidth float64
+	// TargetMap overrides the round-robin rank→target placement: rank r
+	// writes through target TargetMap[r]. Ranks at or beyond
+	// len(TargetMap), and entries outside [0, Targets), fall back to
+	// r % Targets. nil keeps the round-robin layout, byte-identical to
+	// the historical model. amr.RemapToTargets produces these maps; use
+	// FileSystem.Retarget to install one between bursts.
+	TargetMap []int
 }
 
 // Summit-like published constants used by SummitTopology.
@@ -108,11 +115,22 @@ func (t Topology) nodeOf(rank, rpn int) int {
 	return (rank / rpn) % t.Nodes
 }
 
-// TargetOf returns the storage target rank's data files fan into
-// (round-robin), or -1 when targets are not modeled.
+// TargetOf returns the storage target rank's data files fan into — the
+// TargetMap entry when one is installed, round-robin otherwise — or -1
+// when targets are not modeled.
 func (t Topology) TargetOf(rank int) int {
 	if !t.Enabled() || t.Targets <= 0 || rank < 0 {
 		return -1
+	}
+	return t.targetOf(rank)
+}
+
+// targetOf assumes Targets > 0 and rank >= 0.
+func (t Topology) targetOf(rank int) int {
+	if rank < len(t.TargetMap) {
+		if m := t.TargetMap[rank]; m >= 0 && m < t.Targets {
+			return m
+		}
 	}
 	return rank % t.Targets
 }
@@ -138,7 +156,7 @@ func (t Topology) snapshot(cfg Config, n int) *linkSnapshot {
 	for r := 0; r < n; r++ {
 		nodeWriters[t.nodeOf(r, rpn)]++
 		if targetWriters != nil {
-			targetWriters[r%t.Targets]++
+			targetWriters[t.targetOf(r)]++
 		}
 	}
 	base := snapshotBandwidth(cfg, n)
@@ -151,7 +169,7 @@ func (t Topology) snapshot(cfg Config, n int) *linkSnapshot {
 			}
 		}
 		if targetWriters != nil && t.TargetBandwidth > 0 {
-			if share := t.TargetBandwidth / float64(targetWriters[r%t.Targets]); share < bw {
+			if share := t.TargetBandwidth / float64(targetWriters[t.targetOf(r)]); share < bw {
 				bw = share
 			}
 		}

@@ -32,7 +32,7 @@ func refAggregateBandwidth(cfg Config, writers int) float64 {
 func TestTopologyUnsetByteIdenticalToAggregate(t *testing.T) {
 	cfg := DefaultConfig()
 	cfg.JitterSigma = 0.2 // jitter on: the pin must hold bit-for-bit with it
-	if (cfg.Topology != Topology{}) {
+	if !reflect.DeepEqual(cfg.Topology, Topology{}) {
 		t.Fatal("DefaultConfig must leave the topology disabled")
 	}
 	fs := New(cfg, "")
@@ -380,5 +380,117 @@ func TestTopologyForCase(t *testing.T) {
 	}
 	if TopologyForCase(0, 8).Enabled() {
 		t.Error("0 nodes must disable the topology")
+	}
+}
+
+// TestTargetMapOverride pins TargetOf semantics: installed entries win,
+// out-of-range entries and uncovered ranks fall back to round-robin.
+func TestTargetMapOverride(t *testing.T) {
+	topo := Topology{Nodes: 1, Targets: 3, TargetMap: []int{2, 2, -1, 99}}
+	want := []int{2, 2, 2, 0, 1, 2} // ranks 2,3 invalid entries -> r%3; ranks 4,5 uncovered -> r%3
+	for r, w := range want {
+		if got := topo.TargetOf(r); got != w {
+			t.Errorf("TargetOf(%d) = %d, want %d", r, got, w)
+		}
+	}
+	if (Topology{Targets: 3, TargetMap: []int{0}}).TargetOf(0) != -1 {
+		t.Error("disabled topology must return -1 even with a map")
+	}
+}
+
+// TestRetargetIdentityByteIdentical is the remap acceptance pin: a
+// Retarget with the round-robin identity map leaves every duration,
+// label, and ledger record byte-identical to no retarget at all; and a
+// zero-topology filesystem ignores Retarget entirely.
+func TestRetargetIdentityByteIdentical(t *testing.T) {
+	cfg := Config{
+		AggregateBandwidth: 1e12,
+		PerWriterBandwidth: 4e9,
+		OpenLatency:        0.001,
+		JitterSigma:        0.1,
+		Seed:               7,
+		Topology: Topology{
+			Nodes: 2, RanksPerNode: 2,
+			NICBandwidth: 4e9, Targets: 2, TargetBandwidth: 3e9,
+		},
+	}
+	run := func(identity bool) []WriteRecord {
+		fs := New(cfg, "")
+		for step := 0; step < 3; step++ {
+			if identity {
+				fs.Retarget([]int{0, 1, 0, 1}) // == r % 2
+			}
+			fs.BeginBurst(4)
+			for r := 0; r < 4; r++ {
+				if _, err := fs.WriteSize(r, "plt/Cell_D", int64(1e6*(r+1)), Labels{Step: step}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			fs.EndBurst()
+		}
+		return fs.Ledger()
+	}
+	a, b := run(false), run(true)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("identity retarget changed the ledger")
+	}
+
+	// Zero topology: Retarget is a no-op, ledger stays label-free.
+	plain := New(Config{AggregateBandwidth: 1e12, PerWriterBandwidth: 4e9}, "")
+	plain.Retarget([]int{0, 0})
+	plain.BeginBurst(2)
+	plain.WriteSize(0, "x", 100, Labels{})
+	plain.EndBurst()
+	if rec := plain.Ledger(); rec[0].Node != -1 || rec[0].Target != -1 {
+		t.Errorf("zero-topology retarget labeled records: %+v", rec[0])
+	}
+}
+
+// TestRetargetChangesContention: forcing two writers onto one target
+// halves their share; Retarget(nil) restores the round-robin layout.
+func TestRetargetChangesContention(t *testing.T) {
+	cfg := Config{
+		AggregateBandwidth: 1e12,
+		PerWriterBandwidth: 4e9,
+		Topology: Topology{
+			Nodes: 2, RanksPerNode: 1,
+			Targets: 2, TargetBandwidth: 1e9,
+		},
+	}
+	fs := New(cfg, "")
+	burst := func() (d0, d1 float64, rec0 WriteRecord) {
+		fs.BeginBurst(2)
+		d0, _ = fs.WriteSize(0, "a", 1e9, Labels{})
+		d1, _ = fs.WriteSize(1, "b", 1e9, Labels{})
+		fs.EndBurst()
+		for _, r := range fs.Ledger() {
+			if r.Rank == 0 {
+				rec0 = r // rank 0's latest record (ledger is rank-major)
+			}
+		}
+		return d0, d1, rec0
+	}
+
+	// Round-robin: one writer per 1 GB/s target -> 1s each.
+	d0, d1, _ := burst()
+	if math.Abs(d0-1) > 1e-9 || math.Abs(d1-1) > 1e-9 {
+		t.Fatalf("round-robin durations = %g, %g, want 1", d0, d1)
+	}
+
+	// Collide both writers on target 0: 0.5 GB/s each -> 2s.
+	fs.Retarget([]int{0, 0})
+	d0, d1, rec := burst()
+	if math.Abs(d0-2) > 1e-9 || math.Abs(d1-2) > 1e-9 {
+		t.Fatalf("collided durations = %g, %g, want 2", d0, d1)
+	}
+	if rec.Target != 0 {
+		t.Errorf("collided record target = %d, want 0", rec.Target)
+	}
+
+	// Retarget(nil) restores the configured placement.
+	fs.Retarget(nil)
+	d0, d1, _ = burst()
+	if math.Abs(d0-1) > 1e-9 || math.Abs(d1-1) > 1e-9 {
+		t.Fatalf("restored durations = %g, %g, want 1", d0, d1)
 	}
 }

@@ -19,7 +19,7 @@ func benchLevel(b *testing.B) (LevelSpec, []int, int) {
 	dom := grid.NewBox(grid.IV(0, 0), grid.IV(255, 255))
 	g := grid.NewGeom(dom, [2]float64{0, 0}, [2]float64{1, 1})
 	ba := amr.SingleBoxArray(dom, 64, 8)
-	dm := amr.Distribute(ba, 1, amr.DistKnapsack)
+	dm := amr.MustDistribute(ba, 1, amr.DistKnapsack)
 	mf := amr.NewMultiFab(ba, dm, ncomp, 0)
 	mf.ForEachFAB(func(idx int, f *amr.FAB) {
 		for c := 0; c < ncomp; c++ {

@@ -158,7 +158,7 @@ func equivSpecs() []Spec {
 	dom := grid.NewBox(grid.IV(0, 0), grid.IV(1023, 767))
 	g := grid.NewGeom(dom, [2]float64{-1.0 / 3.0, 0}, [2]float64{math.Pi, math.E})
 	ba := amr.SingleBoxArray(dom, 256, 8)
-	dm := amr.Distribute(ba, 12, amr.DistKnapsack)
+	dm := amr.MustDistribute(ba, 12, amr.DistKnapsack)
 	mf := amr.NewMultiFab(ba, dm, 5, 0)
 	mf.ForEachFAB(func(idx int, f *amr.FAB) {
 		for c := 0; c < 5; c++ {

@@ -16,13 +16,13 @@ func twoLevelSpec(nprocs int, withState bool) Spec {
 	dom := grid.NewBox(grid.IV(0, 0), grid.IV(31, 31))
 	g0 := grid.NewGeom(dom, [2]float64{0, 0}, [2]float64{1, 1})
 	ba0 := amr.SingleBoxArray(dom, 16, 8)
-	dm0 := amr.Distribute(ba0, nprocs, amr.DistKnapsack)
+	dm0 := amr.MustDistribute(ba0, nprocs, amr.DistKnapsack)
 
 	fineBA := amr.NewBoxArray([]grid.Box{
 		grid.NewBox(grid.IV(16, 16), grid.IV(31, 31)),
 		grid.NewBox(grid.IV(32, 16), grid.IV(47, 31)),
 	})
-	dm1 := amr.Distribute(fineBA, nprocs, amr.DistKnapsack)
+	dm1 := amr.MustDistribute(fineBA, nprocs, amr.DistKnapsack)
 	g1 := g0.Refine(2)
 
 	spec := Spec{

@@ -21,11 +21,14 @@ func (s *Sim) ShouldCheckpoint() bool {
 	return s.Cfg.CheckInt > 0 && s.Step > 0 && s.Step%s.Cfg.CheckInt == 0
 }
 
-// WriteCheckpoint emits a checkpoint of the conserved state.
+// WriteCheckpoint emits a checkpoint of the conserved state. Like
+// WritePlot it runs the inter-burst layout reorganization first when
+// Opts.Remap is set — checkpoints move the same per-rank volumes.
 func (s *Sim) WriteCheckpoint() error {
 	if s.fs == nil {
 		return fmt.Errorf("sim: no filesystem configured")
 	}
+	s.remapTargets()
 	spec := plotfile.CheckpointSpec{
 		Root:   fmt.Sprintf("%s%05d", s.Cfg.CheckFile, s.Step),
 		Time:   s.Time,
@@ -107,7 +110,9 @@ func (s *Sim) RunWithCheckpoints() error {
 		}
 		s.Advance()
 		if s.Cfg.RegridInt > 0 && s.Step%s.Cfg.RegridInt == 0 && s.Cfg.MaxLevel > 0 {
-			s.Regrid()
+			if err := s.Regrid(); err != nil {
+				return err
+			}
 		}
 		if s.ShouldPlot() && s.fs != nil {
 			if err := s.WritePlot(); err != nil {

@@ -58,7 +58,9 @@ func TestCheckpointRestartExactResume(t *testing.T) {
 	for ref.Step < 10 {
 		ref.Advance()
 		if ref.Step%cfg.RegridInt == 0 {
-			ref.Regrid()
+			if err := ref.Regrid(); err != nil {
+				t.Fatal(err)
+			}
 		}
 	}
 
@@ -71,7 +73,9 @@ func TestCheckpointRestartExactResume(t *testing.T) {
 	for first.Step < 6 {
 		first.Advance()
 		if first.Step%cfg.RegridInt == 0 {
-			first.Regrid()
+			if err := first.Regrid(); err != nil {
+				t.Fatal(err)
+			}
 		}
 	}
 	if err := first.WriteCheckpoint(); err != nil {
@@ -98,7 +102,9 @@ func TestCheckpointRestartExactResume(t *testing.T) {
 	for resumed.Step < 10 {
 		resumed.Advance()
 		if resumed.Step%cfg.RegridInt == 0 {
-			resumed.Regrid()
+			if err := resumed.Regrid(); err != nil {
+				t.Fatal(err)
+			}
 		}
 	}
 

@@ -44,6 +44,12 @@ type Options struct {
 	// Reflux enables the Berger–Colella coarse-fine flux correction,
 	// keeping the composite solution conservative as Castro does.
 	Reflux bool
+	// Remap enables the inter-burst layout reorganization (Wan et al.):
+	// before every plot/checkpoint burst the rank→storage-target mapping
+	// is rebuilt from the hierarchy's per-rank load via
+	// amr.RemapToTargets. A no-op unless the filesystem's Topology models
+	// storage targets.
+	Remap bool
 }
 
 // DefaultOptions mirrors the Castro Sedov problem setup.
@@ -100,7 +106,10 @@ func New(cfg inputs.CastroInputs, opts Options, fs *iosim.FileSystem) (*Sim, err
 	dom := grid.NewBox(grid.IV(0, 0), grid.IV(cfg.NCell[0]-1, cfg.NCell[1]-1))
 	g0 := grid.NewGeom(dom, cfg.ProbLo, cfg.ProbHi)
 	ba0 := amr.SingleBoxArray(dom, cfg.MaxGridSize, cfg.BlockingFactor)
-	dm0 := amr.Distribute(ba0, cfg.NProcs, opts.Dist)
+	dm0, err := amr.Distribute(ba0, cfg.NProcs, opts.Dist)
+	if err != nil {
+		return nil, err
+	}
 	l0 := &Level{Geom: g0, BA: ba0, DM: dm0, State: amr.NewMultiFab(ba0, dm0, hydro.NCons, nGhost)}
 	s.Levels = []*Level{l0}
 	s.initLevelData(l0)
@@ -118,7 +127,10 @@ func New(cfg inputs.CastroInputs, opts Options, fs *iosim.FileSystem) (*Sim, err
 				s.Levels = s.Levels[:l+1]
 				break
 			}
-			dm := amr.Distribute(ba, cfg.NProcs, opts.Dist)
+			dm, err := amr.Distribute(ba, cfg.NProcs, opts.Dist)
+			if err != nil {
+				return nil, err
+			}
 			fine := &Level{
 				Geom:  s.Levels[l].Geom.Refine(cfg.RefRatioAt(l)),
 				BA:    ba,
@@ -307,8 +319,10 @@ func (s *Sim) fillPatchLevelChain(l int) {
 
 // Regrid rebuilds every level above 0 from fresh tags, carrying data over
 // from the old hierarchy where it overlaps and interpolating from the
-// coarser level elsewhere.
-func (s *Sim) Regrid() {
+// coarser level elsewhere. The only error source is an unknown
+// distribution strategy, which New already rejects, so a validated Sim
+// never fails here.
+func (s *Sim) Regrid() error {
 	for l := 0; l < s.Cfg.MaxLevel; l++ {
 		if l >= len(s.Levels) {
 			break
@@ -316,9 +330,12 @@ func (s *Sim) Regrid() {
 		ba := s.makeFineBoxArray(l)
 		if ba.Len() == 0 {
 			s.Levels = s.Levels[:l+1]
-			return
+			return nil
 		}
-		dm := amr.Distribute(ba, s.Cfg.NProcs, s.Opts.Dist)
+		dm, err := amr.Distribute(ba, s.Cfg.NProcs, s.Opts.Dist)
+		if err != nil {
+			return err
+		}
 		ratio := s.Cfg.RefRatioAt(l)
 		fine := &Level{
 			Geom:  s.Levels[l].Geom.Refine(ratio),
@@ -341,6 +358,7 @@ func (s *Sim) Regrid() {
 		}
 	}
 	s.averageDownAll()
+	return nil
 }
 
 // ShouldPlot reports whether the current step is a plot step.
@@ -354,6 +372,7 @@ func (s *Sim) WritePlot() error {
 	if s.fs == nil {
 		return fmt.Errorf("sim: no filesystem configured")
 	}
+	s.remapTargets()
 	spec := s.PlotSpec()
 	recs, err := plotfile.Write(s.fs, spec)
 	if err != nil {
@@ -362,6 +381,28 @@ func (s *Sim) WritePlot() error {
 	s.records = append(s.records, recs...)
 	s.nPlots++
 	return nil
+}
+
+// remapTargets reorganizes the rank→storage-target layout for the
+// upcoming I/O burst (Opts.Remap): each rank's load is the cell count it
+// owns across all levels — proportional to the bytes it is about to
+// write — and amr.RemapToTargets balances that fan-in across the
+// topology's targets. Without target modeling the remap is nil and
+// Retarget keeps the round-robin placement.
+func (s *Sim) remapTargets() {
+	if !s.Opts.Remap || s.fs == nil {
+		return
+	}
+	var owner []int
+	var loads []int64
+	for _, lev := range s.Levels {
+		for i, b := range lev.BA.Boxes {
+			owner = append(owner, lev.DM.Owner[i])
+			loads = append(loads, b.NumPts())
+		}
+	}
+	m := amr.RemapToTargets(amr.DistributionMapping{Owner: owner}, s.fs.Config().Topology, loads)
+	s.fs.Retarget(m)
 }
 
 // PlotSpec assembles the current hierarchy into a plotfile spec with the
@@ -435,7 +476,9 @@ func (s *Sim) Run() error {
 		}
 		s.Advance()
 		if s.Cfg.RegridInt > 0 && s.Step%s.Cfg.RegridInt == 0 && s.Cfg.MaxLevel > 0 {
-			s.Regrid()
+			if err := s.Regrid(); err != nil {
+				return err
+			}
 		}
 		if s.ShouldPlot() && s.fs != nil {
 			if err := s.WritePlot(); err != nil {

@@ -258,7 +258,9 @@ func TestRegridPreservesCoverage(t *testing.T) {
 	for i := 0; i < 4; i++ {
 		s.Advance()
 	}
-	s.Regrid()
+	if err := s.Regrid(); err != nil {
+		t.Fatal(err)
+	}
 	// After regrid, high-gradient cells on level 0 must be covered by
 	// level 1 (up to the clustering efficiency slack).
 	s.fillPatchLevelChain(0)

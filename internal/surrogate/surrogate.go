@@ -39,6 +39,11 @@ import (
 // Options tunes the surrogate's tagging and time-step model.
 type Options struct {
 	Dist amr.DistStrategy
+	// Remap enables the inter-burst layout reorganization (Wan et al.):
+	// before each dump the rank→storage-target mapping is rebuilt from
+	// the hierarchy's per-rank cell load via amr.RemapToTargets. A no-op
+	// unless the filesystem's Topology models storage targets.
+	Remap bool
 	// Blast supplies the analytic front r(t).
 	Blast sedov.Params
 	// Center of the blast in physical coordinates.
@@ -102,7 +107,9 @@ func New(cfg inputs.CastroInputs, opts Options, fs *iosim.FileSystem) (*Runner, 
 	// initial hierarchy is non-trivial, as in the solver's t=0 state.
 	dxF := r.Geoms[len(r.Geoms)-1].CellSize[0]
 	r.Time = opts.Blast.TimeAtRadius(4 * dxF)
-	r.buildHierarchy()
+	if err := r.buildHierarchy(); err != nil {
+		return nil, err
+	}
 	return r, nil
 }
 
@@ -116,8 +123,10 @@ func (r *Runner) Records() []plotfile.OutputRecord { return r.records }
 func (r *Runner) NPlots() int { return r.nPlots }
 
 // Rebuild regenerates the hierarchy for the runner's current time — the
-// public regrid entry point for callers driving the runner manually.
-func (r *Runner) Rebuild() { r.buildHierarchy() }
+// public regrid entry point for callers driving the runner manually. The
+// only error source is an unknown distribution strategy, which New
+// already rejects, so a validated Runner never fails here.
+func (r *Runner) Rebuild() error { return r.buildHierarchy() }
 
 // ExchangeTraffic returns the per-rank-pair ghost-exchange volume the
 // current hierarchy would generate with the given stencil width and
@@ -136,12 +145,16 @@ func (r *Runner) ExchangeTraffic(nghost, ncomp int) []iosim.PairBytes {
 }
 
 // buildHierarchy regenerates every level's BoxArray for the current time.
-func (r *Runner) buildHierarchy() {
+func (r *Runner) buildHierarchy() error {
 	cfg := r.Cfg
 	dom0 := r.Geoms[0].Domain
 	ba0 := amr.SingleBoxArray(dom0, cfg.MaxGridSize, cfg.BlockingFactor)
+	dm0, err := amr.Distribute(ba0, cfg.NProcs, r.Opts.Dist)
+	if err != nil {
+		return err
+	}
 	r.BAs = []amr.BoxArray{ba0}
-	r.DMs = []amr.DistributionMapping{amr.Distribute(ba0, cfg.NProcs, r.Opts.Dist)}
+	r.DMs = []amr.DistributionMapping{dm0}
 	for l := 0; l < cfg.MaxLevel; l++ {
 		tags := r.annulusTags(l)
 		if tags.Len() == 0 {
@@ -155,9 +168,14 @@ func (r *Runner) buildHierarchy() {
 		if ba.Len() == 0 {
 			break
 		}
+		dm, err := amr.Distribute(ba, cfg.NProcs, r.Opts.Dist)
+		if err != nil {
+			return err
+		}
 		r.BAs = append(r.BAs, ba)
-		r.DMs = append(r.DMs, amr.Distribute(ba, cfg.NProcs, r.Opts.Dist))
+		r.DMs = append(r.DMs, dm)
 	}
+	return nil
 }
 
 // annulusTags tags level-l cells within the front annulus. Tags are
@@ -252,6 +270,7 @@ func (r *Runner) WritePlot() error {
 	if r.fs == nil {
 		return fmt.Errorf("surrogate: no filesystem configured")
 	}
+	r.remapTargets()
 	spec := plotfile.Spec{
 		Root:     fmt.Sprintf("%s%05d", r.Cfg.PlotFile, r.Step),
 		VarNames: sim.PlotVarNames,
@@ -291,7 +310,9 @@ func (r *Runner) Run() error {
 		}
 		r.Advance()
 		if r.Cfg.RegridInt > 0 && r.Step%r.Cfg.RegridInt == 0 {
-			r.buildHierarchy()
+			if err := r.buildHierarchy(); err != nil {
+				return err
+			}
 		}
 		if r.ShouldPlot() && r.fs != nil {
 			if err := r.WritePlot(); err != nil {
@@ -300,4 +321,25 @@ func (r *Runner) Run() error {
 		}
 	}
 	return nil
+}
+
+// remapTargets reorganizes the rank→storage-target layout for the
+// upcoming dump (Opts.Remap): per-rank load is the cell count each rank
+// owns across all levels, and amr.RemapToTargets balances that fan-in
+// across the topology's targets. Without target modeling the remap is
+// nil and Retarget keeps the round-robin placement.
+func (r *Runner) remapTargets() {
+	if !r.Opts.Remap || r.fs == nil {
+		return
+	}
+	var owner []int
+	var loads []int64
+	for l := range r.BAs {
+		for i, b := range r.BAs[l].Boxes {
+			owner = append(owner, r.DMs[l].Owner[i])
+			loads = append(loads, b.NumPts())
+		}
+	}
+	m := amr.RemapToTargets(amr.DistributionMapping{Owner: owner}, r.fs.Config().Topology, loads)
+	r.fs.Retarget(m)
 }
