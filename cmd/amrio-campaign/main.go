@@ -6,6 +6,7 @@
 //
 //	amrio-campaign [-quick] [-filter case4] [-outdir results/] [-parallel N]
 //	               [-topology] [-dist roundrobin,knapsack,sfc] [-remap]
+//	               [-storage gpfs,bb,bb+gpfs] [-bbcap bytes]
 //
 // -quick (default) runs the campaign scaled for minutes-scale execution;
 // -quick=false runs paper-scale cases (hours; Summit-scale cases still use
@@ -29,6 +30,17 @@
 // every dump the rank→storage-target placement is rebalanced to the
 // hierarchy's per-rank load (effective with -topology, which models the
 // targets being rebalanced).
+//
+// -storage expands every selected case into the storage-tier
+// cross-product ("gpfs" single-tier, "bb" node-local burst buffer,
+// "bb+gpfs" tiered) and prints a per-base-case StorageReport comparing
+// burst walls, per-tier byte splits, buffer occupancy, drain tails, and
+// stall stragglers. -bbcap overrides the per-node burst-buffer capacity
+// in bytes (default: Summit's 1.6 TB NVMe) — shrink it to watch bursts
+// fill the buffer and stall at the drain rate. The two sweeps compose:
+// -dist a,b -storage x,y runs the full strategy × tier matrix (the
+// storage comparison groups per dist-sweep member; the dist table is
+// printed only for pure -dist sweeps).
 package main
 
 import (
@@ -62,6 +74,10 @@ func run() error {
 		"comma-separated distribution-mapping strategies to sweep (roundrobin,knapsack,sfc); expands every case")
 	remap := flag.Bool("remap", false,
 		"reorganize the rank->target layout between bursts (amr.RemapToTargets; effective with -topology)")
+	storage := flag.String("storage", "",
+		"comma-separated storage-tier stacks to sweep (gpfs,bb,bb+gpfs); expands every case")
+	bbcap := flag.Float64("bbcap", 0,
+		"per-node burst-buffer capacity in bytes for bb/bb+gpfs sweeps (0 = Summit's 1.6e12)")
 	flag.Parse()
 
 	all := campaign.PaperCampaign()
@@ -93,21 +109,38 @@ func run() error {
 		}
 		cases = campaign.SweepDist(cases, dists...)
 	}
+	var storages []campaign.Storage
+	storageBases := cases // storage grouping nests inside the dist sweep
+	if *storage != "" {
+		for _, name := range strings.Split(*storage, ",") {
+			s, err := campaign.ParseStorage(strings.TrimSpace(name))
+			if err != nil {
+				return err
+			}
+			storages = append(storages, s)
+		}
+		cases = campaign.SweepStorage(cases, storages...)
+	}
 	if *remap {
 		for i := range cases {
 			cases[i].Remap = true
 		}
 	}
+	for _, c := range cases {
+		if err := c.Validate(); err != nil {
+			return err
+		}
+	}
 
 	// Ledgers are retained per case while its summary is computed, then
-	// freed; the dist sweep keeps only the compact DistSummary rows.
-	keepLedgers := *topology || len(dists) > 0
+	// freed; the sweeps keep only the compact summary rows.
+	keepLedgers := *topology || len(dists) > 0 || len(storages) > 0
 	var mu sync.Mutex
 	ledgers := map[string]*iosim.FileSystem{}
 	results, err := campaign.RunAll(cases, *parallel, func(c campaign.Case) *iosim.FileSystem {
-		cfg := iosim.DefaultConfig()
-		if *topology {
-			cfg.Topology = c.Topology()
+		cfg := c.FSConfig(*topology)
+		if *bbcap > 0 {
+			cfg.BurstBuffer.NodeCapacity = *bbcap
 		}
 		fs := iosim.New(cfg, "")
 		if keepLedgers {
@@ -122,6 +155,7 @@ func run() error {
 	}
 	var linkReports []string
 	distSums := map[string]report.DistSummary{}
+	storageSums := map[string]report.StorageSummary{}
 	for i, res := range results {
 		c := cases[i]
 		line := fmt.Sprintf("%-18s %-9s %9s in %8v (%d plots)",
@@ -136,8 +170,14 @@ func run() error {
 						fmt.Sprintf("%s:\n%s", c.Name, report.TopologyReport(ledger)))
 				}
 			}
-			if len(dists) > 0 {
+			// Only for pure -dist sweeps: a composed -storage sweep
+			// renames the cases, so the dist table below never renders
+			// and the summaries would be dead work.
+			if len(dists) > 0 && len(storages) == 0 {
 				distSums[c.Name] = report.SummarizeDist(string(c.Dist), ledger)
+			}
+			if len(storages) > 0 {
+				storageSums[c.Name] = report.SummarizeStorage(string(c.Storage), ledger)
 			}
 			// Each case's ledger is only needed for its own summaries;
 			// free it now so a large sweep doesn't hold every case's
@@ -157,8 +197,10 @@ func run() error {
 		fmt.Print(r)
 	}
 	// The distribution-mapping comparison: one DistReport per base case,
-	// strategies side by side with deltas against the first.
-	if len(dists) > 0 {
+	// strategies side by side with deltas against the first. (With a
+	// composed -storage sweep the dist members were expanded further, so
+	// the flat dist table is only rendered for pure -dist sweeps.)
+	if len(dists) > 0 && len(storages) == 0 {
 		for _, base := range baseCases {
 			var sums []report.DistSummary
 			for _, d := range dists {
@@ -169,6 +211,23 @@ func run() error {
 			if len(sums) > 0 {
 				fmt.Println()
 				fmt.Printf("%s distribution-mapping comparison:\n%s", base.Name, report.DistReport(sums))
+			}
+		}
+	}
+	// The storage-tier comparison: one StorageReport per (possibly
+	// dist-expanded) base case, stacks side by side with wall deltas
+	// against the first.
+	if len(storages) > 0 {
+		for _, base := range storageBases {
+			var sums []report.StorageSummary
+			for _, s := range storages {
+				if sum, ok := storageSums[campaign.SweepStorageName(base.Name, s)]; ok {
+					sums = append(sums, sum)
+				}
+			}
+			if len(sums) > 0 {
+				fmt.Println()
+				fmt.Printf("%s storage-tier comparison:\n%s", base.Name, report.StorageReport(sums))
 			}
 		}
 	}

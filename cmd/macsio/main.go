@@ -7,6 +7,12 @@
 //	macsio --interface miftmpl --parallel_file_mode MIF 32 \
 //	       --num_dumps 21 --part_size 1550000 --avg_num_parts 1 \
 //	       --vars_per_part 1 --dataset_growth 1.013075 --nprocs 32
+//
+// -nodes/-targets enable the per-link topology model; -storage selects
+// the storage-tier stack ("gpfs" | "bb" | "bb+gpfs") — with the
+// burst-buffer stacks, --compute_time is the gap the asynchronous NVMe
+// drain overlaps, and -v's characterization reports per-tier bytes,
+// buffer fill, and stall stragglers.
 package main
 
 import (
@@ -29,7 +35,7 @@ func main() {
 
 func run() error {
 	// Split our own flags (before "--") from MACSio flags.
-	var outdir string
+	var outdir, storage string
 	var verbose bool
 	var nodes, targets int
 	fl := flag.NewFlagSet("macsio", flag.ContinueOnError)
@@ -43,6 +49,11 @@ func run() error {
 		case "-outdir", "--outdir":
 			if i+1 < len(args) {
 				outdir = args[i+1]
+				i++
+			}
+		case "-storage", "--storage":
+			if i+1 < len(args) {
+				storage = args[i+1]
 				i++
 			}
 		case "-nodes", "--nodes":
@@ -92,6 +103,23 @@ func run() error {
 			topo.Targets = targets
 		}
 		fsCfg.Topology = topo
+	}
+	// -storage selects the tier stack ("gpfs" | "bb" | "bb+gpfs"): the
+	// burst-buffer models partition each node's Summit NVMe across its
+	// ranks and drain asynchronously between dumps (--compute_time makes
+	// the drain-compute overlap visible). Without -nodes every rank
+	// shares one node's partition.
+	if storage != "" {
+		name, err := iosim.ParseStorage(storage)
+		if err != nil {
+			return err
+		}
+		fsCfg.Storage = name
+		bbNodes := nodes
+		if bbNodes <= 0 {
+			bbNodes = 1
+		}
+		fsCfg.BurstBuffer = iosim.DefaultBurstBuffer(bbNodes)
 	}
 	fs := iosim.New(fsCfg, outdir)
 

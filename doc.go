@@ -44,6 +44,16 @@
 // mesh exchange and checkpoint/plot bursts share one contention model;
 // the zero Topology keeps the historical aggregate model byte-identical.
 //
+// Storage is multi-tier: all pricing goes through iosim's pluggable
+// StorageModel interface, selectable per campaign case ("gpfs" | "bb" |
+// "bb+gpfs"). The burst-buffer models give each compute node a Summit
+// NVMe partition that absorbs bursts at local speed and drains
+// asynchronously to GPFS between them — filling mid-burst stalls a
+// writer to the drain rate — so the campaign can sweep the same
+// workload across backends and compare per-tier bytes, buffer
+// occupancy, drain-compute overlap, and stall stragglers
+// (report.StorageReport, amrio-campaign -storage).
+//
 // Layout:
 //
 //	internal/grid      index-space geometry (boxes, Morton codes,

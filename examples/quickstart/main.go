@@ -78,4 +78,28 @@ func main() {
 	//    also counts the plotfile directory creations (metadata ops).
 	fmt.Println()
 	fmt.Print(iosim.Characterize(fs.Ledger()).Render())
+
+	// 7. The same run against the tiered burst-buffer stack (the
+	//    -storage sweep the campaign CLI exposes): a small DataWarp-style
+	//    per-job allocation fills mid-burst and stalls to the drain rate,
+	//    and the characterization gains the storage-tier lines. StepSeconds
+	//    puts compute gaps between bursts so the drain overlaps them.
+	bbCfg := iosim.DefaultConfig()
+	bbCfg.Storage = iosim.StorageTiered
+	bbCfg.BurstBuffer = iosim.DefaultBurstBuffer(1)
+	bbCfg.BurstBuffer.NodeCapacity = 4e5 // per-job allocation, not the full 1.6 TB NVMe
+	bbCfg.BurstBuffer.DrainBandwidth = 2e8
+	bbfs := iosim.New(bbCfg, "")
+	opts := sim.DefaultOptions()
+	opts.StepSeconds = 0.01
+	bbSim, err := sim.New(cfg, opts, bbfs)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := bbSim.Run(); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nsame run on %q (per-job bb allocation %s/node):\n",
+		bbCfg.Storage, report.HumanBytes(int64(bbCfg.BurstBuffer.NodeCapacity)))
+	fmt.Print(iosim.Characterize(bbfs.Ledger()).Render())
 }

@@ -12,11 +12,16 @@
 // mesh-exchange traffic is priced on the same topology, so compute and
 // I/O traffic share one contention model.
 //
-// The closing section is the distribution-mapping experiment: one
-// Summit-scale case swept across roundrobin/knapsack/sfc placements
-// (campaign.SweepDist + report.DistReport), then the inter-burst layout
-// reorganization (Wan et al., amr.RemapToTargets) rebalancing the
-// rank→target fan-in of the round-robin placement.
+// The closing sections are the experiment sweeps: one Summit-scale case
+// swept across roundrobin/knapsack/sfc placements (campaign.SweepDist +
+// report.DistReport), the inter-burst layout reorganization (Wan et al.,
+// amr.RemapToTargets) rebalancing the rank→target fan-in of the
+// round-robin placement, and the storage-tier sweep
+// (campaign.SweepStorage + report.StorageReport — the amrio-campaign
+// -storage flag): the same 512-rank bursts priced against the Alpine
+// GPFS, the node-local NVMe burst buffer, and the tiered stack, showing
+// per-tier bytes, buffer fill, drain-compute overlap, and stall
+// stragglers.
 //
 //	go run ./examples/scalingstudy
 package main
@@ -158,4 +163,32 @@ func main() {
 	fmt.Printf("inter-burst remap: max target fan-in %s -> %s (imbalance %.3f -> %.3f)\n",
 		report.HumanBytes(before.MaxTargetBytes), report.HumanBytes(after.MaxTargetBytes),
 		before.TargetImbalance, after.TargetImbalance)
+
+	// Storage-tier sweep (the amrio-campaign -storage flag): the same
+	// 512-rank case priced against gpfs, the node-local burst buffer,
+	// and the tiered stack. A DataWarp-style per-job allocation (instead
+	// of the whole 1.6 TB NVMe) and a single congested drain stream make
+	// the fill/stall/drain dynamics visible at proxy scale; compute gaps
+	// between steps (Case.ComputeSeconds) are what the drain overlaps.
+	storageCase := campaign.Case{
+		Name: "storage_16384", NCell: 16384, MaxLevel: 2,
+		MaxStep: 20, PlotInt: 5, CFL: 0.5,
+		NProcs: 512, Nodes: 128, Engine: campaign.EngineSurrogate,
+		ComputeSeconds: 0.5,
+	}
+	fmt.Println("\nStorage-tier sweep (16384^2, 512 ranks, per-link model):")
+	var storageRuns []report.StorageRun
+	for _, c := range campaign.SweepStorage([]campaign.Case{storageCase}) {
+		cfg := c.FSConfig(true)
+		cfg.PerWriterBandwidth = 1e8 // congested GPFS streams throttle the tiered drain
+		cfg.BurstBuffer.NodeCapacity = 6.4e7
+		cfg.BurstBuffer.DrainBandwidth = 8e8
+		fs := iosim.New(cfg, "")
+		if _, err := campaign.Run(c, fs); err != nil {
+			log.Fatal(err)
+		}
+		storageRuns = append(storageRuns, report.StorageRun{Storage: string(c.Storage), Ledger: fs.Ledger()})
+	}
+	fmt.Print(report.StorageReportRuns(storageRuns))
+	fmt.Println(report.FigBBFill(storageRuns).Render())
 }

@@ -235,3 +235,81 @@ func TestCharacterizationAcrossEngines(t *testing.T) {
 		t.Errorf("proxy ranks = %d, want %d", proxy.Ranks, pivot.NProcs)
 	}
 }
+
+// TestStorageTierSweep512Ranks is the storage-API acceptance scenario: a
+// paper-scale 512-rank surrogate case swept across the three storage
+// stacks on the Summit topology renders a StorageReport with non-zero
+// drain and stall deltas — the burst buffer absorbs bytes, fills, stalls
+// to the drain rate, and drains into the compute gaps, while the
+// single-tier gpfs run shows none of that.
+func TestStorageTierSweep512Ranks(t *testing.T) {
+	base := campaign.Case{
+		Name: "storage512", NCell: 4096, MaxLevel: 2, MaxStep: 20, PlotInt: 5,
+		CFL: 0.5, NProcs: 512, Nodes: 128, Engine: campaign.EngineSurrogate,
+		ComputeSeconds: 0.01,
+	}
+	sums := map[campaign.Storage]report.StorageSummary{}
+	var ordered []report.StorageSummary
+	for _, s := range campaign.AllStorages() {
+		c := base
+		c.Storage = s
+		c.Name = campaign.SweepStorageName(base.Name, s)
+		cfg := c.FSConfig(true)
+		cfg.JitterSigma = 0
+		// A DataWarp-style per-job allocation instead of the whole 1.6 TB
+		// NVMe, and a drain slower than the NVMe: bursts fill the
+		// partition and stall. The deliberately slow per-writer GPFS
+		// stream additionally throttles the tiered drain below the bb one.
+		cfg.PerWriterBandwidth = 1e8
+		cfg.BurstBuffer.NodeCapacity = 4e6
+		cfg.BurstBuffer.DrainBandwidth = 8e8
+		fs := iosim.New(cfg, "")
+		if _, err := campaign.Run(c, fs); err != nil {
+			t.Fatal(err)
+		}
+		sum := report.SummarizeStorage(string(s), fs.Ledger())
+		sums[s] = sum
+		ordered = append(ordered, sum)
+	}
+
+	gpfs := sums[campaign.StorageGPFS]
+	if gpfs.Bytes == 0 || gpfs.WallSeconds == 0 {
+		t.Fatalf("gpfs run empty: %+v", gpfs)
+	}
+	if gpfs.BBBytes != 0 || gpfs.SpillBytes != 0 || gpfs.StallRanks != 0 || gpfs.DrainSeconds != 0 {
+		t.Fatalf("single-tier run carries buffer fields: %+v", gpfs)
+	}
+	for _, s := range []campaign.Storage{campaign.StorageBB, campaign.StorageTiered} {
+		sum := sums[s]
+		if sum.Bytes != gpfs.Bytes {
+			t.Errorf("%s moved %d bytes, gpfs %d: tiers must not change volumes", s, sum.Bytes, gpfs.Bytes)
+		}
+		// The acceptance deltas: non-zero drain and stall against gpfs.
+		if sum.DrainSeconds <= 0 || sum.StallRanks == 0 || sum.StallSeconds <= 0 {
+			t.Errorf("%s shows no drain/stall: %+v", s, sum)
+		}
+		if sum.OverlapSeconds <= 0 {
+			t.Errorf("%s drain never overlapped the compute gaps: %+v", s, sum)
+		}
+		if sum.BBBytes+sum.SpillBytes == 0 || sum.MaxBBFill < 1 {
+			t.Errorf("%s buffer never filled: %+v", s, sum)
+		}
+		if sum.WallSeconds == gpfs.WallSeconds {
+			t.Errorf("%s wall identical to gpfs: the tier changed nothing", s)
+		}
+	}
+	// The congested GPFS stream throttles the tiered drain below the
+	// standalone bb drain: strictly more stall time.
+	if sums[campaign.StorageTiered].StallSeconds <= sums[campaign.StorageBB].StallSeconds {
+		t.Errorf("tiered stall %g <= bb stall %g: GPFS coupling missing",
+			sums[campaign.StorageTiered].StallSeconds, sums[campaign.StorageBB].StallSeconds)
+	}
+
+	out := report.StorageReport(ordered)
+	for _, want := range []string{"gpfs", "bb", "bb+gpfs", "stall-ranks", "drain", "overlap"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("storage report missing %q:\n%s", want, out)
+		}
+	}
+	t.Logf("512-rank storage sweep:\n%s", out)
+}

@@ -52,6 +52,37 @@ type Case struct {
 	// placement is rebalanced to the hierarchy's per-rank load. Only
 	// meaningful when the case runs against a target-modeling topology.
 	Remap bool `json:"remap,omitempty"`
+	// Storage selects the iosim storage-tier stack the case's filesystem
+	// prices writes with ("gpfs" | "bb" | "bb+gpfs"). The empty string
+	// keeps the historical single-tier model; unknown names are rejected
+	// by Validate, like unknown engines and dists. The selection takes
+	// effect through FSConfig (RunAll's default filesystems and the
+	// CLIs); callers handing Run a custom filesystem configure it there.
+	Storage Storage `json:"storage,omitempty"`
+	// ComputeSeconds models the compute phase between time steps on the
+	// filesystem clocks (sim/surrogate Options.StepSeconds): bursts are
+	// separated by compute gaps that an asynchronous burst-buffer drain
+	// overlaps. 0 keeps the historical back-to-back bursts.
+	ComputeSeconds float64 `json:"compute_seconds,omitempty"`
+}
+
+// Validate consolidates the case-level name checks — unknown engine,
+// unknown distribution strategy, unknown storage tier — into the one
+// place Run, RunAll, and the amrio-campaign flag parser all use, so a
+// typo is rejected with the same message everywhere.
+func (c Case) Validate() error {
+	switch c.Engine {
+	case "", EngineAuto, EngineHydro, EngineSurrogate:
+	default:
+		return fmt.Errorf("campaign %s: unknown engine %q", c.Name, c.Engine)
+	}
+	if _, err := c.Dist.strategy(); err != nil {
+		return fmt.Errorf("campaign %s: %w", c.Name, err)
+	}
+	if _, err := iosim.ParseStorage(string(c.Storage)); err != nil {
+		return fmt.Errorf("campaign %s: %w", c.Name, err)
+	}
+	return nil
 }
 
 // Inputs converts a case to the Castro configuration it runs with.
@@ -84,6 +115,24 @@ func (c Case) Inputs() inputs.CastroInputs {
 // topology, preserving the aggregate model.
 func (c Case) Topology() iosim.Topology {
 	return iosim.TopologyForCase(c.Nodes, c.NProcs)
+}
+
+// FSConfig derives the iosim configuration the case runs against: the
+// default Summit-flavored model, the per-link topology when withTopology
+// is set, and the case's storage-tier stack — burst-buffer cases get the
+// Summit NVMe spec sized to the case's node count. RunAll's default
+// filesystems and the CLIs build from this, so Case.Storage takes effect
+// without every call site re-deriving the wiring.
+func (c Case) FSConfig(withTopology bool) iosim.Config {
+	cfg := iosim.DefaultConfig()
+	if withTopology {
+		cfg.Topology = c.Topology()
+	}
+	cfg.Storage = string(c.Storage)
+	if c.Storage == StorageBB || c.Storage == StorageTiered {
+		cfg.BurstBuffer = iosim.DefaultBurstBuffer(maxi(1, c.Nodes))
+	}
+	return cfg
 }
 
 // engineFor resolves EngineAuto (and the empty string). Any other engine
@@ -142,6 +191,9 @@ func Run(c Case, fs *iosim.FileSystem) (Result, error) {
 	start := time.Now()
 	cfg := c.Inputs()
 	res := Result{Case: c, Engine: c.engineFor()}
+	if err := c.Validate(); err != nil {
+		return res, err
+	}
 	strat, err := c.Dist.strategy()
 	if err != nil {
 		return res, fmt.Errorf("campaign %s: %w", c.Name, err)
@@ -151,6 +203,7 @@ func Run(c Case, fs *iosim.FileSystem) (Result, error) {
 		opts := sim.DefaultOptions()
 		opts.Dist = strat
 		opts.Remap = c.Remap
+		opts.StepSeconds = c.ComputeSeconds
 		s, err := sim.New(cfg, opts, fs)
 		if err != nil {
 			return res, fmt.Errorf("campaign %s: %w", c.Name, err)
@@ -165,6 +218,7 @@ func Run(c Case, fs *iosim.FileSystem) (Result, error) {
 		opts := surrogate.DefaultOptions()
 		opts.Dist = strat
 		opts.Remap = c.Remap
+		opts.StepSeconds = c.ComputeSeconds
 		r, err := surrogate.New(cfg, opts, fs)
 		if err != nil {
 			return res, fmt.Errorf("campaign %s: %w", c.Name, err)
@@ -201,8 +255,8 @@ func RunAll(cases []Case, parallelism int, newFS func(Case) *iosim.FileSystem) (
 		parallelism = len(cases)
 	}
 	if newFS == nil {
-		newFS = func(Case) *iosim.FileSystem {
-			return iosim.New(iosim.DefaultConfig(), "")
+		newFS = func(c Case) *iosim.FileSystem {
+			return iosim.New(c.FSConfig(false), "")
 		}
 	}
 	results := make([]Result, len(cases))
@@ -214,6 +268,13 @@ func RunAll(cases []Case, parallelism int, newFS func(Case) *iosim.FileSystem) (
 		go func() {
 			defer wg.Done()
 			for i := range next {
+				// Invalid cases (unknown engine/dist/storage) are
+				// rejected by Validate without building a filesystem;
+				// healthy siblings still run to completion.
+				if err := cases[i].Validate(); err != nil {
+					results[i], errs[i] = Result{Case: cases[i], Engine: cases[i].engineFor()}, err
+					continue
+				}
 				results[i], errs[i] = Run(cases[i], newFS(cases[i]))
 			}
 		}()

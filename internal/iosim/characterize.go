@@ -53,6 +53,16 @@ type Characterization struct {
 	LinksUsed     int     // distinct (node, target) links
 	NodeImbalance float64 // max/mean bytes per node (1.0 = perfect)
 	LinkImbalance float64 // max/mean bytes per link (1.0 = perfect)
+
+	// Storage-tier decomposition, populated only when the ledger carries
+	// tier labels (the "bb"/"bb+gpfs" storage models); all zero — and
+	// absent from Render — under single-tier models.
+	BBBytes      int64   // bytes absorbed at burst-buffer speed
+	SpillBytes   int64   // bytes that stalled through to the GPFS tier
+	MaxBBFill    float64 // peak buffer-partition occupancy fraction
+	StallRanks   int     // stall stragglers summed over bursts
+	StallSeconds float64 // sum over bursts of the max-rank stall time
+	DrainSeconds float64 // sum over bursts of the post-burst drain tails
 }
 
 // Characterize computes the profile from ledger records.
@@ -134,6 +144,14 @@ func Characterize(records []WriteRecord) Characterization {
 		var bb float64
 		for _, b := range bursts {
 			bb += float64(b.Bytes)
+			c.BBBytes += b.BBBytes
+			c.SpillBytes += b.SpillBytes
+			if b.MaxBBFill > c.MaxBBFill {
+				c.MaxBBFill = b.MaxBBFill
+			}
+			c.StallRanks += b.StallRanks
+			c.StallSeconds += b.StallSeconds
+			c.DrainSeconds += b.DrainSeconds
 		}
 		c.MeanBurstBytes = bb / float64(len(bursts))
 	}
@@ -212,6 +230,11 @@ func (c Characterization) Render() string {
 			c.NodesUsed, c.TargetsUsed, c.LinksUsed)
 		fmt.Fprintf(&sb, "  node imbalance   : %.3f (max/mean)\n", c.NodeImbalance)
 		fmt.Fprintf(&sb, "  link imbalance   : %.3f (max/mean)\n", c.LinkImbalance)
+	}
+	if c.BBBytes > 0 || c.SpillBytes > 0 || c.MaxBBFill > 0 {
+		fmt.Fprintf(&sb, "  storage tiers    : bb %d B, gpfs spill %d B\n", c.BBBytes, c.SpillBytes)
+		fmt.Fprintf(&sb, "  burst buffer     : peak fill %.3f, %d stall stragglers, stall %.4gs, drain tail %.4gs\n",
+			c.MaxBBFill, c.StallRanks, c.StallSeconds, c.DrainSeconds)
 	}
 	if len(c.SizeHistogram) > 0 {
 		fmt.Fprintln(&sb, "  size histogram (log2 buckets):")

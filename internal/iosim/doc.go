@@ -59,4 +59,39 @@
 // pinned by a property test. Topology.ExchangeTime prices rank-pair
 // traffic (e.g. amr mesh-exchange volumes) on the same node/NIC
 // vocabulary, so compute and I/O traffic share one contention model.
+//
+// # Storage-tier models
+//
+// All pricing goes through the pluggable StorageModel interface
+// (storage.go), selected by Config.Storage name: "" / "gpfs" installs
+// the aggregate/per-link models above, "bb" the node-local burst-buffer
+// tier (per-node NVMe capacity and bandwidth split across the ranks
+// packed on a node, asynchronous drain to a GPFS tier, stall at the
+// drain rate when a partition fills mid-burst), and "bb+gpfs" the tiered
+// composition whose drain is throttled by the GPFS tier's contention
+// snapshot. Multi-tier records carry Tier / StallSeconds / DrainSeconds
+// / BBFill fields, aggregated by BurstStats and Characterize into
+// per-tier bytes, buffer occupancy, drain tails, and stall stragglers.
+//
+// The StorageModel contract extends the determinism guarantee above:
+//
+//   - A model may snapshot cross-rank contention state only at
+//     BeginBurst (which must be idempotent for repeated calls with the
+//     same writer count — MACSio's SPMD loop issues one per rank).
+//   - Price runs with the writing rank's shard lock held; per-write
+//     state must be a function of (rank, rank's clock, write size) so
+//     ledgers are independent of goroutine interleaving. The burst
+//     buffer achieves this by statically partitioning each node's
+//     capacity, fill bandwidth, and drain bandwidth across its ranks.
+//   - Retarget layers over tiers the same way it layers over the
+//     configured TargetMap: the FileSystem validates and installs the
+//     override map (between bursts only), then tells the model to drop
+//     placement-dependent snapshots; the next BeginBurst re-snapshots
+//     under the new placement. Tiered models forward the invalidation
+//     to their backing GPFS tier, so a drain throttled by a contended
+//     target follows the reorganized fan-in.
+//
+// The default "" / "gpfs" stack is property-test-pinned byte-identical
+// (durations, ledger, BurstStats, Characterize, Render) to the
+// pre-StorageModel FileSystem, with and without a Topology.
 package iosim

@@ -42,6 +42,14 @@ type Config struct {
 	// model (per-node NIC caps, per-target NSD fan-in). The zero value
 	// keeps the aggregate model byte-identical to historical behavior.
 	Topology Topology
+	// Storage selects the pricing stack New installs: "" or "gpfs" for
+	// the historical aggregate/per-link models, "bb" for the node-local
+	// burst buffer, "bb+gpfs" for the tiered composition (see storage.go).
+	// Unknown names panic in New; validate with ParseStorage first.
+	Storage string
+	// BurstBuffer parameterizes the "bb"/"bb+gpfs" tiers; the zero value
+	// selects the Summit NVMe defaults (DefaultBurstBuffer).
+	BurstBuffer BurstBuffer
 }
 
 // DefaultConfig returns a Summit-flavored model: 2.5 TB/s aggregate (the
@@ -84,6 +92,19 @@ type WriteRecord struct {
 	// metadata service rather than an NSD data target.
 	Node   int
 	Target int
+	// Tier labels the storage tier that absorbed the write under a
+	// multi-tier storage model (TierBB / TierGPFS); empty under the
+	// single-tier "gpfs" models, keeping historical ledgers byte-identical.
+	Tier Tier
+	// StallSeconds is the portion of Duration the writer spent throttled
+	// to the drain rate because its burst-buffer partition was full.
+	StallSeconds float64
+	// DrainSeconds is the projected time for the writer's buffer
+	// occupancy to drain to the backing tier after this write ended.
+	DrainSeconds float64
+	// BBFill is the writer's buffer-partition occupancy fraction (0..1)
+	// right after the write; 0 under single-tier models.
+	BBFill float64
 }
 
 // shard is one rank's private slice of the filesystem state. Its mutex is
@@ -103,19 +124,19 @@ type FileSystem struct {
 	cfg  Config
 	root string
 
-	// burstBW holds math.Float64bits of the per-writer bandwidth under
-	// the current contention state, snapshotted at BeginBurst/EndBurst.
-	burstBW atomic.Uint64
-
-	// link is the per-rank link-bandwidth table for the current burst
-	// when the topology model is enabled; nil between bursts and under
-	// the aggregate model, in which case burstBW alone applies.
-	link atomic.Pointer[linkSnapshot]
+	// model is the installed storage-tier pricing stack (storage.go).
+	// It owns the contention snapshots; the FileSystem owns the ledger,
+	// clocks, open latency, jitter, and link labels.
+	model StorageModel
 
 	// rpn is the most recently resolved ranks-per-node packing, used to
 	// label ledger records with their node between bursts. Updated at
 	// BeginBurst; meaningful only when cfg.Topology is enabled.
 	rpn atomic.Int64
+
+	// burstN is the writer count of the most recent BeginBurst; Retarget
+	// validates override maps against it once a burst has been declared.
+	burstN atomic.Int64
 
 	// retarget is the dynamically installed rank→target override
 	// (Retarget / amr.RemapToTargets); nil selects cfg.Topology's own
@@ -132,13 +153,15 @@ type FileSystem struct {
 
 // New creates a filesystem with the given model configuration. root is the
 // host directory used when Backend == RealDisk (ignored for ModelOnly, but
-// still recorded for path bookkeeping).
+// still recorded for path bookkeeping). New panics on an unknown
+// cfg.Storage name; validate user input with ParseStorage (the campaign
+// and CLI layers do) so misconfigurations surface as errors instead.
 func New(cfg Config, root string) *FileSystem {
 	fs := &FileSystem{cfg: cfg, root: root}
 	empty := []*shard{}
 	fs.shards.Store(&empty)
-	fs.burstBW.Store(math.Float64bits(snapshotBandwidth(cfg, 0)))
 	fs.rpn.Store(int64(cfg.Topology.ranksPerNode(0)))
+	fs.model = newStorageModel(cfg, fs)
 	return fs
 }
 
@@ -172,20 +195,38 @@ func (fs *FileSystem) topology() Topology {
 // — the inter-burst layout-reorganization hook (Wan et al.; maps come
 // from amr.RemapToTargets). A nil map restores the configured placement.
 // Retargeting is a no-op unless the topology models storage targets.
-// Like Reset, it must not race with an in-flight burst: call it between
-// bursts, which is when layout reorganization happens.
-func (fs *FileSystem) Retarget(m []int) {
+//
+// The map is validated before it is installed: every entry must lie in
+// [0, Targets), and once a burst width has been declared (BeginBurst),
+// the map must cover exactly that many ranks — a short or out-of-range
+// map would silently mislabel ledger records and index fan-in tables out
+// of bounds, so it is rejected with an error instead.
+//
+// Like Reset, Retarget must not race with an in-flight burst: call it
+// between bursts, which is when layout reorganization happens.
+func (fs *FileSystem) Retarget(m []int) error {
 	if !fs.cfg.Topology.Enabled() || fs.cfg.Topology.Targets <= 0 {
-		return
+		return nil
 	}
 	if m == nil {
 		fs.retarget.Store(nil)
-	} else {
-		cp := make([]int, len(m))
-		copy(cp, m)
-		fs.retarget.Store(&cp)
+		fs.model.Retarget() // next BeginBurst rebuilds the per-link snapshot
+		return nil
 	}
-	fs.link.Store(nil) // next BeginBurst rebuilds the per-link snapshot
+	if n := int(fs.burstN.Load()); n > 0 && len(m) != n {
+		return fmt.Errorf("iosim: retarget map covers %d ranks, burst declares %d", len(m), n)
+	}
+	for r, tgt := range m {
+		if tgt < 0 || tgt >= fs.cfg.Topology.Targets {
+			return fmt.Errorf("iosim: retarget map sends rank %d to target %d, outside [0, %d)",
+				r, tgt, fs.cfg.Topology.Targets)
+		}
+	}
+	cp := make([]int, len(m))
+	copy(cp, m)
+	fs.retarget.Store(&cp)
+	fs.model.Retarget()
+	return nil
 }
 
 // Root returns the host root directory.
@@ -194,47 +235,29 @@ func (fs *FileSystem) Root() string { return fs.root }
 // Config returns the model configuration.
 func (fs *FileSystem) Config() Config { return fs.cfg }
 
-// BeginBurst declares that n writers participate in the upcoming I/O burst.
-// The contention model divides the aggregate bandwidth among them; the
-// resulting per-writer share is snapshotted here and read atomically by
-// every write until EndBurst, so no write takes a shared lock. With an
-// enabled Topology the snapshot is per (rank, target) link instead of one
-// scalar: each rank's share is additionally capped by its node's NIC
-// (split across that node's writers) and its storage target's bandwidth
-// (split across the writers fanned into it). The plotfile and MACSio
-// writers call this once per dump with the number of ranks that will
-// write. EndBurst resets to uncontended mode.
+// BeginBurst declares that n writers participate in the upcoming I/O burst
+// and delegates the contention snapshot to the installed StorageModel:
+// the default models divide the aggregate bandwidth (or the per-link
+// topology shares) among the writers, the burst-buffer models
+// additionally resolve each rank's NVMe partition. The snapshot is read
+// atomically by every write until EndBurst, so no write takes a shared
+// lock. The plotfile and MACSio writers call this once per dump with the
+// number of ranks that will write. EndBurst resets to uncontended mode.
 func (fs *FileSystem) BeginBurst(n int) {
-	fs.burstBW.Store(math.Float64bits(snapshotBandwidth(fs.cfg, n)))
-	if t := fs.topology(); t.Enabled() && n > 0 {
-		// The snapshot is a pure function of (topology, n) — Retarget
-		// invalidates it — so repeated BeginBurst(n) calls — MACSio's
-		// SPMD loop issues one per rank per dump — reuse the published
-		// table instead of recomputing the O(n) shares n times per burst.
-		if snap := fs.link.Load(); snap == nil || len(snap.perRank) != n {
-			fs.rpn.Store(int64(t.ranksPerNode(n)))
-			fs.link.Store(t.snapshot(fs.cfg, n))
-		}
+	fs.model.BeginBurst(n)
+	if n > 0 {
+		fs.burstN.Store(int64(n))
 	}
 	fs.ensureShards(n)
 }
 
 // EndBurst marks the end of the current burst.
 func (fs *FileSystem) EndBurst() {
-	fs.burstBW.Store(math.Float64bits(snapshotBandwidth(fs.cfg, 0)))
-	fs.link.Store(nil)
+	fs.model.EndBurst()
 }
 
-// effectiveBandwidth returns rank's per-writer bandwidth under the current
-// contention snapshot: the per-link table during a topology burst (ranks
-// outside the declared burst fall back to the scalar), the scalar
-// aggregate snapshot otherwise.
-func (fs *FileSystem) effectiveBandwidth(rank int) float64 {
-	if snap := fs.link.Load(); snap != nil && rank < len(snap.perRank) {
-		return snap.perRank[rank]
-	}
-	return math.Float64frombits(fs.burstBW.Load())
-}
+// Storage returns the installed storage-tier pricing model.
+func (fs *FileSystem) Storage() StorageModel { return fs.model }
 
 // linkOf returns the (node, target) labels for a data write by rank, or
 // (-1, -1) under the aggregate model.
@@ -345,17 +368,23 @@ func (fs *FileSystem) write(rank int, path string, nbytes int64, data []byte, la
 		}
 	}
 
-	bw := fs.effectiveBandwidth(rank)
-	dur := (fs.cfg.OpenLatency + float64(nbytes)/bw) * fs.jitter(rank, path)
 	node, target := fs.linkOf(rank)
 	s := fs.shardFor(rank)
 	s.mu.Lock()
 	start := s.clock
+	// Price under the shard lock: the model may keep per-rank state
+	// (burst-buffer occupancy) keyed on rank's clock, and the lock
+	// serializes exactly this rank's transfers.
+	cost := fs.model.Price(rank, start, nbytes)
+	j := fs.jitter(rank, path)
+	dur := (fs.cfg.OpenLatency + cost.Seconds) * j
 	s.clock = start + dur
 	s.records = append(s.records, WriteRecord{
 		Rank: rank, Path: path, Bytes: nbytes,
 		Start: start, Duration: dur, Labels: labels,
 		Node: node, Target: target,
+		Tier: cost.Tier, StallSeconds: cost.StallSeconds * j,
+		DrainSeconds: cost.DrainSeconds, BBFill: cost.BBFill,
 	})
 	s.bytes += nbytes
 	s.mu.Unlock()
@@ -442,9 +471,9 @@ func (fs *FileSystem) Reset() {
 	empty := []*shard{}
 	fs.shards.Store(&empty)
 	fs.growMu.Unlock()
-	fs.burstBW.Store(math.Float64bits(snapshotBandwidth(fs.cfg, 0)))
-	fs.link.Store(nil)
+	fs.model.Reset()
 	fs.retarget.Store(nil)
+	fs.burstN.Store(0)
 	fs.rpn.Store(int64(fs.cfg.Topology.ranksPerNode(0)))
 }
 
@@ -517,6 +546,16 @@ type BurstStat struct {
 	MeanLinkSeconds float64 // mean transfer time across links
 	LinkSkew        float64 // MaxLinkSeconds / MeanLinkSeconds (1 = balanced)
 	NodeSkew        float64 // max/mean bytes per node (1 = balanced)
+
+	// Storage-tier aggregations, populated only when records carry tier
+	// labels (the "bb"/"bb+gpfs" models); all zero under single-tier
+	// models.
+	BBBytes      int64   // bytes absorbed at burst-buffer speed (TierBB)
+	SpillBytes   int64   // bytes that stalled through to GPFS (TierGPFS)
+	MaxBBFill    float64 // peak buffer-partition occupancy fraction
+	StallSeconds float64 // max over ranks of time spent drain-stalled
+	StallRanks   int     // ranks that stalled at least once (stragglers)
+	DrainSeconds float64 // max over ranks of the post-burst drain tail
 }
 
 // burstLink keys one (node, target) link of a burst.
@@ -528,6 +567,10 @@ type burstLink struct{ node, target int }
 // burst time but are counted separately from data files. Records labeled
 // by the topology model additionally produce the per-node and per-link
 // skew fields, which expose where a burst is NIC- or fan-in-bound.
+// Records labeled by the burst-buffer models produce the per-tier byte
+// split, buffer occupancy, drain tails, and stall stragglers; the drain
+// tail relies on the Ledger contract that a rank's records appear in
+// program order.
 func BurstStats(records []WriteRecord) []BurstStat {
 	type acc struct {
 		bytes     int64
@@ -536,6 +579,11 @@ func BurstStats(records []WriteRecord) []BurstStat {
 		perRank   map[int]float64
 		perLink   map[burstLink]float64
 		nodeBytes map[int]int64
+
+		bbBytes, spillBytes int64
+		maxFill             float64
+		stallPerRank        map[int]float64
+		lastDrain           map[int]float64
 	}
 	bySteps := map[int]*acc{}
 	for _, r := range records {
@@ -560,6 +608,23 @@ func BurstStats(records []WriteRecord) []BurstStat {
 			if !r.Dir {
 				a.perLink[burstLink{r.Node, r.Target}] += r.Duration
 			}
+		}
+		if r.Tier != "" {
+			if a.stallPerRank == nil {
+				a.stallPerRank = map[int]float64{}
+				a.lastDrain = map[int]float64{}
+			}
+			switch r.Tier {
+			case TierBB:
+				a.bbBytes += r.Bytes
+			case TierGPFS:
+				a.spillBytes += r.Bytes
+			}
+			if r.BBFill > a.maxFill {
+				a.maxFill = r.BBFill
+			}
+			a.stallPerRank[r.Rank] += r.StallSeconds
+			a.lastDrain[r.Rank] = r.DrainSeconds // program order: last write wins
 		}
 	}
 	steps := make([]int, 0, len(bySteps))
@@ -608,6 +673,24 @@ func BurstStats(records []WriteRecord) []BurstStat {
 			st.MeanLinkSeconds = linkSum / float64(len(a.perLink))
 			if st.MeanLinkSeconds > 0 {
 				st.LinkSkew = st.MaxLinkSeconds / st.MeanLinkSeconds
+			}
+		}
+		if a.stallPerRank != nil {
+			st.BBBytes = a.bbBytes
+			st.SpillBytes = a.spillBytes
+			st.MaxBBFill = a.maxFill
+			for _, stall := range a.stallPerRank {
+				if stall > st.StallSeconds {
+					st.StallSeconds = stall
+				}
+				if stall > 0 {
+					st.StallRanks++
+				}
+			}
+			for _, drain := range a.lastDrain {
+				if drain > st.DrainSeconds {
+					st.DrainSeconds = drain
+				}
 			}
 		}
 		out = append(out, st)

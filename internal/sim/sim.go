@@ -50,6 +50,13 @@ type Options struct {
 	// amr.RemapToTargets. A no-op unless the filesystem's Topology models
 	// storage targets.
 	Remap bool
+	// StepSeconds models the compute phase between time steps on the
+	// filesystem clocks: after each Advance, every rank's clock moves
+	// forward by this much, so bursts are separated by compute gaps and
+	// an asynchronous burst-buffer drain (iosim Storage "bb"/"bb+gpfs")
+	// overlaps compute the way the paper's runs do. 0 (the default)
+	// keeps the historical clocks byte-identical.
+	StepSeconds float64
 }
 
 // DefaultOptions mirrors the Castro Sedov problem setup.
@@ -372,7 +379,9 @@ func (s *Sim) WritePlot() error {
 	if s.fs == nil {
 		return fmt.Errorf("sim: no filesystem configured")
 	}
-	s.remapTargets()
+	if err := s.remapTargets(); err != nil {
+		return err
+	}
 	spec := s.PlotSpec()
 	recs, err := plotfile.Write(s.fs, spec)
 	if err != nil {
@@ -389,9 +398,9 @@ func (s *Sim) WritePlot() error {
 // write — and amr.RemapToTargets balances that fan-in across the
 // topology's targets. Without target modeling the remap is nil and
 // Retarget keeps the round-robin placement.
-func (s *Sim) remapTargets() {
+func (s *Sim) remapTargets() error {
 	if !s.Opts.Remap || s.fs == nil {
-		return
+		return nil
 	}
 	var owner []int
 	var loads []int64
@@ -401,8 +410,15 @@ func (s *Sim) remapTargets() {
 			loads = append(loads, b.NumPts())
 		}
 	}
-	m := amr.RemapToTargets(amr.DistributionMapping{Owner: owner}, s.fs.Config().Topology, loads)
-	s.fs.Retarget(m)
+	topo := s.fs.Config().Topology
+	m := amr.RemapToTargets(amr.DistributionMapping{Owner: owner}, topo, loads)
+	// The remap covers ranks up to the highest box owner; Retarget
+	// validates full burst coverage, so pad box-less top ranks with
+	// their round-robin placement.
+	for r := len(m); m != nil && r < s.Cfg.NProcs; r++ {
+		m = append(m, r%topo.Targets)
+	}
+	return s.fs.Retarget(m)
 }
 
 // PlotSpec assembles the current hierarchy into a plotfile spec with the
@@ -475,6 +491,7 @@ func (s *Sim) Run() error {
 			break
 		}
 		s.Advance()
+		s.advanceClocks()
 		if s.Cfg.RegridInt > 0 && s.Step%s.Cfg.RegridInt == 0 && s.Cfg.MaxLevel > 0 {
 			if err := s.Regrid(); err != nil {
 				return err
@@ -487,6 +504,18 @@ func (s *Sim) Run() error {
 		}
 	}
 	return nil
+}
+
+// advanceClocks applies Options.StepSeconds of compute time to every
+// rank's filesystem clock — the inter-burst gap asynchronous storage
+// drains overlap with.
+func (s *Sim) advanceClocks() {
+	if s.Opts.StepSeconds <= 0 || s.fs == nil {
+		return
+	}
+	for r := 0; r < s.Cfg.NProcs; r++ {
+		s.fs.AdvanceClock(r, s.Opts.StepSeconds)
+	}
 }
 
 func max(a, b int) int {

@@ -367,3 +367,52 @@ func TestOptionsDefaults(t *testing.T) {
 		t.Errorf("PlotVarNames = %d entries", len(PlotVarNames))
 	}
 }
+
+// TestStepSecondsSeparatesBursts: Options.StepSeconds advances every
+// rank's filesystem clock between steps, so plot bursts are separated by
+// compute gaps (the window an asynchronous storage drain overlaps);
+// zero keeps the historical back-to-back clocks.
+func TestStepSecondsSeparatesBursts(t *testing.T) {
+	run := func(stepSeconds float64) *iosim.FileSystem {
+		cfg := smallCfg()
+		cfg.MaxStep = 4
+		cfg.PlotInt = 2
+		fs := modelFS()
+		opts := DefaultOptions()
+		opts.StepSeconds = stepSeconds
+		s, err := New(cfg, opts, fs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Run(); err != nil {
+			t.Fatal(err)
+		}
+		return fs
+	}
+
+	plain := run(0)
+	gapped := run(2.5)
+	// 4 steps of compute time land on every rank's clock.
+	for r := 0; r < 4; r++ {
+		if diff := gapped.Clock(r) - plain.Clock(r); math.Abs(diff-4*2.5) > 1e-9 {
+			t.Errorf("rank %d clock gained %g, want 10", r, diff)
+		}
+	}
+	// The gaps appear between bursts: each burst's earliest start moves
+	// later by the accumulated compute time.
+	firstStart := func(fs *iosim.FileSystem, step int) float64 {
+		first := math.Inf(1)
+		for _, r := range fs.Ledger() {
+			if r.Labels.Step == step && r.Start < first {
+				first = r.Start
+			}
+		}
+		return first
+	}
+	if d := firstStart(gapped, 2) - firstStart(plain, 2); math.Abs(d-2*2.5) > 1e-9 {
+		t.Errorf("step-2 burst shifted by %g, want 5", d)
+	}
+	if d := firstStart(gapped, 4) - firstStart(plain, 4); math.Abs(d-4*2.5) > 1e-9 {
+		t.Errorf("step-4 burst shifted by %g, want 10", d)
+	}
+}

@@ -44,6 +44,11 @@ type Options struct {
 	// the hierarchy's per-rank cell load via amr.RemapToTargets. A no-op
 	// unless the filesystem's Topology models storage targets.
 	Remap bool
+	// StepSeconds models the compute phase between time steps on the
+	// filesystem clocks (see sim.Options.StepSeconds): with an
+	// asynchronous storage tier (iosim Storage "bb"/"bb+gpfs") the
+	// burst-buffer drain overlaps these gaps. 0 keeps historical clocks.
+	StepSeconds float64
 	// Blast supplies the analytic front r(t).
 	Blast sedov.Params
 	// Center of the blast in physical coordinates.
@@ -270,7 +275,9 @@ func (r *Runner) WritePlot() error {
 	if r.fs == nil {
 		return fmt.Errorf("surrogate: no filesystem configured")
 	}
-	r.remapTargets()
+	if err := r.remapTargets(); err != nil {
+		return err
+	}
 	spec := plotfile.Spec{
 		Root:     fmt.Sprintf("%s%05d", r.Cfg.PlotFile, r.Step),
 		VarNames: sim.PlotVarNames,
@@ -309,6 +316,7 @@ func (r *Runner) Run() error {
 			break
 		}
 		r.Advance()
+		r.advanceClocks()
 		if r.Cfg.RegridInt > 0 && r.Step%r.Cfg.RegridInt == 0 {
 			if err := r.buildHierarchy(); err != nil {
 				return err
@@ -328,9 +336,9 @@ func (r *Runner) Run() error {
 // owns across all levels, and amr.RemapToTargets balances that fan-in
 // across the topology's targets. Without target modeling the remap is
 // nil and Retarget keeps the round-robin placement.
-func (r *Runner) remapTargets() {
+func (r *Runner) remapTargets() error {
 	if !r.Opts.Remap || r.fs == nil {
-		return
+		return nil
 	}
 	var owner []int
 	var loads []int64
@@ -340,6 +348,23 @@ func (r *Runner) remapTargets() {
 			loads = append(loads, b.NumPts())
 		}
 	}
-	m := amr.RemapToTargets(amr.DistributionMapping{Owner: owner}, r.fs.Config().Topology, loads)
-	r.fs.Retarget(m)
+	topo := r.fs.Config().Topology
+	m := amr.RemapToTargets(amr.DistributionMapping{Owner: owner}, topo, loads)
+	// Pad box-less top ranks with their round-robin placement so the map
+	// covers the full burst width Retarget validates against.
+	for rk := len(m); m != nil && rk < r.Cfg.NProcs; rk++ {
+		m = append(m, rk%topo.Targets)
+	}
+	return r.fs.Retarget(m)
+}
+
+// advanceClocks applies Options.StepSeconds of compute time to every
+// rank's filesystem clock after a step.
+func (r *Runner) advanceClocks() {
+	if r.Opts.StepSeconds <= 0 || r.fs == nil {
+		return
+	}
+	for rk := 0; rk < r.Cfg.NProcs; rk++ {
+		r.fs.AdvanceClock(rk, r.Opts.StepSeconds)
+	}
 }
