@@ -7,6 +7,7 @@
 //	amrio-campaign [-quick] [-filter case4] [-outdir results/] [-parallel N]
 //	               [-topology] [-dist roundrobin,knapsack,sfc] [-remap]
 //	               [-storage gpfs,bb,bb+gpfs] [-bbcap bytes]
+//	               [-faults plan.json | -faults '{"events":[...]}']
 //
 // -quick (default) runs the campaign scaled for minutes-scale execution;
 // -quick=false runs paper-scale cases (hours; Summit-scale cases still use
@@ -41,6 +42,14 @@
 // -dist a,b -storage x,y runs the full strategy × tier matrix (the
 // storage comparison groups per dist-sweep member; the dist table is
 // printed only for pure -dist sweeps).
+//
+// -faults installs a deterministic fault-injection plan (inline JSON or
+// a path to a JSON file; see internal/faults) on every selected case:
+// storage-target outages, per-node NIC degradation, burst-buffer
+// partition loss, and MTBF-driven rank interrupts. After the sweep the
+// per-case recovery model is rendered as a ResilienceReport (lost work,
+// restart reads, retries, failovers, forward-progress rate). Unknown
+// fault kinds and malformed plans are rejected before any case runs.
 package main
 
 import (
@@ -52,6 +61,7 @@ import (
 	"sync"
 
 	"amrproxyio/internal/campaign"
+	"amrproxyio/internal/faults"
 	"amrproxyio/internal/iosim"
 	"amrproxyio/internal/report"
 )
@@ -78,7 +88,26 @@ func run() error {
 		"comma-separated storage-tier stacks to sweep (gpfs,bb,bb+gpfs); expands every case")
 	bbcap := flag.Float64("bbcap", 0,
 		"per-node burst-buffer capacity in bytes for bb/bb+gpfs sweeps (0 = Summit's 1.6e12)")
+	faultsArg := flag.String("faults", "",
+		"fault-injection plan for every case: inline JSON or a path to a JSON file (see internal/faults)")
 	flag.Parse()
+
+	// An explicit -bbcap must be positive: letting 0 or a negative
+	// capacity flow into the model would silently select the Summit
+	// default (or a degenerate buffer) instead of what was asked for.
+	var bbcapSet bool
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "bbcap" {
+			bbcapSet = true
+		}
+	})
+	if bbcapSet && *bbcap <= 0 {
+		return fmt.Errorf("-bbcap must be positive, got %g", *bbcap)
+	}
+	plan, err := faults.Load(*faultsArg)
+	if err != nil {
+		return err
+	}
 
 	all := campaign.PaperCampaign()
 	if *quick {
@@ -126,6 +155,11 @@ func run() error {
 			cases[i].Remap = true
 		}
 	}
+	if plan != nil {
+		for i := range cases {
+			cases[i].Faults = plan
+		}
+	}
 	for _, c := range cases {
 		if err := c.Validate(); err != nil {
 			return err
@@ -134,7 +168,7 @@ func run() error {
 
 	// Ledgers are retained per case while its summary is computed, then
 	// freed; the sweeps keep only the compact summary rows.
-	keepLedgers := *topology || len(dists) > 0 || len(storages) > 0
+	keepLedgers := *topology || len(dists) > 0 || len(storages) > 0 || plan != nil
 	var mu sync.Mutex
 	ledgers := map[string]*iosim.FileSystem{}
 	results, err := campaign.RunAll(cases, *parallel, func(c campaign.Case) *iosim.FileSystem {
@@ -156,6 +190,7 @@ func run() error {
 	var linkReports []string
 	distSums := map[string]report.DistSummary{}
 	storageSums := map[string]report.StorageSummary{}
+	var resilSums []report.ResilienceSummary
 	for i, res := range results {
 		c := cases[i]
 		line := fmt.Sprintf("%-18s %-9s %9s in %8v (%d plots)",
@@ -178,6 +213,12 @@ func run() error {
 			}
 			if len(storages) > 0 {
 				storageSums[c.Name] = report.SummarizeStorage(string(c.Storage), ledger)
+			}
+			if plan != nil {
+				resilSums = append(resilSums, report.ResilienceSummary{
+					Name:       c.Name,
+					Resilience: faults.Analyze(plan, ledger, fs.FaultEvents()),
+				})
 			}
 			// Each case's ledger is only needed for its own summaries;
 			// free it now so a large sweep doesn't hold every case's
@@ -230,6 +271,12 @@ func run() error {
 				fmt.Printf("%s storage-tier comparison:\n%s", base.Name, report.StorageReport(sums))
 			}
 		}
+	}
+	// The recovery-cost comparison: what the injected plan cost each
+	// case in lost work, restart reads, and degraded forward progress.
+	if len(resilSums) > 0 {
+		fmt.Println()
+		fmt.Printf("resilience under injected faults:\n%s", report.ResilienceReport(resilSums))
 	}
 	fmt.Println()
 	fmt.Println(report.TableIII(results))

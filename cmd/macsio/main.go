@@ -12,7 +12,9 @@
 // the storage-tier stack ("gpfs" | "bb" | "bb+gpfs") — with the
 // burst-buffer stacks, --compute_time is the gap the asynchronous NVMe
 // drain overlaps, and -v's characterization reports per-tier bytes,
-// buffer fill, and stall stragglers.
+// buffer fill, and stall stragglers. -faults installs a deterministic
+// fault-injection plan (inline JSON or a path; see internal/faults);
+// -v then also renders the run's resilience summary.
 package main
 
 import (
@@ -21,6 +23,7 @@ import (
 	"os"
 	"strconv"
 
+	"amrproxyio/internal/faults"
 	"amrproxyio/internal/iosim"
 	"amrproxyio/internal/macsio"
 	"amrproxyio/internal/report"
@@ -35,7 +38,7 @@ func main() {
 
 func run() error {
 	// Split our own flags (before "--") from MACSio flags.
-	var outdir, storage string
+	var outdir, storage, faultsArg string
 	var verbose bool
 	var nodes, targets int
 	fl := flag.NewFlagSet("macsio", flag.ContinueOnError)
@@ -54,6 +57,11 @@ func run() error {
 		case "-storage", "--storage":
 			if i+1 < len(args) {
 				storage = args[i+1]
+				i++
+			}
+		case "-faults", "--faults":
+			if i+1 < len(args) {
+				faultsArg = args[i+1]
 				i++
 			}
 		case "-nodes", "--nodes":
@@ -121,6 +129,16 @@ func run() error {
 		}
 		fsCfg.BurstBuffer = iosim.DefaultBurstBuffer(bbNodes)
 	}
+	// -faults schedules deterministic fault injection against simulated
+	// time; malformed plans and unknown fault kinds are rejected here,
+	// before any dump runs.
+	plan, err := faults.Load(faultsArg)
+	if err != nil {
+		return err
+	}
+	if inj := plan.Injector(fsCfg.Topology); inj != nil {
+		fsCfg.Faults = inj
+	}
 	fs := iosim.New(fsCfg, outdir)
 
 	fmt.Printf("macsio: %s\n", cfg.CommandLine())
@@ -144,6 +162,14 @@ func run() error {
 			fmt.Println(report.TopologyReport(fs.Ledger()))
 		}
 		fmt.Println(iosim.Characterize(fs.Ledger()).Render())
+		if plan != nil {
+			sum := report.ResilienceSummary{
+				Name:       "macsio",
+				Resilience: faults.Analyze(plan, fs.Ledger(), fs.FaultEvents()),
+			}
+			fmt.Printf("resilience under injected faults:\n%s",
+				report.ResilienceReport([]report.ResilienceSummary{sum}))
+		}
 	}
 	return nil
 }

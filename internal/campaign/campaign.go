@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"amrproxyio/internal/core"
+	"amrproxyio/internal/faults"
 	"amrproxyio/internal/inputs"
 	"amrproxyio/internal/iosim"
 	"amrproxyio/internal/plotfile"
@@ -64,6 +65,13 @@ type Case struct {
 	// separated by compute gaps that an asynchronous burst-buffer drain
 	// overlaps. 0 keeps the historical back-to-back bursts.
 	ComputeSeconds float64 `json:"compute_seconds,omitempty"`
+	// Faults schedules deterministic fault injection against the case's
+	// simulated time (internal/faults): target outages, NIC degradation,
+	// burst-buffer loss, and rank interrupts. nil (and the zero plan)
+	// keeps the fault-free write path byte-identical. The plan takes
+	// effect through FSConfig, like Storage; invalid plans are rejected
+	// by Validate.
+	Faults *faults.Plan `json:"faults,omitempty"`
 }
 
 // Validate consolidates the case-level name checks — unknown engine,
@@ -80,6 +88,12 @@ func (c Case) Validate() error {
 		return fmt.Errorf("campaign %s: %w", c.Name, err)
 	}
 	if _, err := iosim.ParseStorage(string(c.Storage)); err != nil {
+		return fmt.Errorf("campaign %s: %w", c.Name, err)
+	}
+	if c.ComputeSeconds < 0 {
+		return fmt.Errorf("campaign %s: negative compute_seconds %g", c.Name, c.ComputeSeconds)
+	}
+	if err := c.Faults.Validate(); err != nil {
 		return fmt.Errorf("campaign %s: %w", c.Name, err)
 	}
 	return nil
@@ -131,6 +145,13 @@ func (c Case) FSConfig(withTopology bool) iosim.Config {
 	cfg.Storage = string(c.Storage)
 	if c.Storage == StorageBB || c.Storage == StorageTiered {
 		cfg.BurstBuffer = iosim.DefaultBurstBuffer(maxi(1, c.Nodes))
+	}
+	// The nil guard matters: storing a typed-nil *faults.Injector into
+	// the interface field would defeat iosim's `cfg.Faults == nil` fast
+	// path. The injector's failover pool is bounded by the same topology
+	// the filesystem prices against.
+	if inj := c.Faults.Injector(cfg.Topology); inj != nil {
+		cfg.Faults = inj
 	}
 	return cfg
 }
@@ -236,17 +257,38 @@ func Run(c Case, fs *iosim.FileSystem) (Result, error) {
 	return res, nil
 }
 
+// RunOption tunes RunAll's worker pool.
+type RunOption func(*runOptions)
+
+type runOptions struct {
+	caseTimeout time.Duration
+}
+
+// WithCaseTimeout bounds each case's wall-clock run time: a case still
+// running after d returns a timeout-error Result while the pool moves
+// on. The abandoned case's goroutine finishes (and is discarded) in the
+// background — Go cannot preempt it — so timeouts are for surfacing
+// stuck sweeps, not reclaiming their work. d <= 0 disables the bound.
+func WithCaseTimeout(d time.Duration) RunOption {
+	return func(o *runOptions) { o.caseTimeout = d }
+}
+
 // RunAll executes cases concurrently on up to parallelism workers and
 // returns one Result per case, in case order. Each case gets its own
 // FileSystem from newFS (nil selects a fresh ModelOnly DefaultConfig
 // filesystem per case), so ledgers are isolated and the results —
 // records, plot counts, simulated times — are identical to running the
 // cases serially; only wall-clock changes. parallelism < 1 selects
-// GOMAXPROCS workers. All cases run even if some fail; the returned
-// error joins every per-case failure.
-func RunAll(cases []Case, parallelism int, newFS func(Case) *iosim.FileSystem) ([]Result, error) {
+// GOMAXPROCS workers. All cases run even if some fail; a panicking case
+// is recovered into its own error Result instead of killing the pool,
+// and the returned error joins every per-case failure.
+func RunAll(cases []Case, parallelism int, newFS func(Case) *iosim.FileSystem, opts ...RunOption) ([]Result, error) {
 	if len(cases) == 0 {
 		return nil, nil
+	}
+	var opt runOptions
+	for _, o := range opts {
+		o(&opt)
 	}
 	if parallelism < 1 {
 		parallelism = runtime.GOMAXPROCS(0)
@@ -268,14 +310,7 @@ func RunAll(cases []Case, parallelism int, newFS func(Case) *iosim.FileSystem) (
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				// Invalid cases (unknown engine/dist/storage) are
-				// rejected by Validate without building a filesystem;
-				// healthy siblings still run to completion.
-				if err := cases[i].Validate(); err != nil {
-					results[i], errs[i] = Result{Case: cases[i], Engine: cases[i].engineFor()}, err
-					continue
-				}
-				results[i], errs[i] = Run(cases[i], newFS(cases[i]))
+				results[i], errs[i] = runCase(cases[i], newFS, opt.caseTimeout)
 			}
 		}()
 	}
@@ -285,6 +320,49 @@ func RunAll(cases []Case, parallelism int, newFS func(Case) *iosim.FileSystem) (
 	close(next)
 	wg.Wait()
 	return results, errors.Join(errs...)
+}
+
+// runCase runs one pool member defensively: Validate rejects bad cases
+// before a filesystem is built (healthy siblings still run), panics are
+// recovered into error Results, and an optional timeout abandons stuck
+// cases.
+func runCase(c Case, newFS func(Case) *iosim.FileSystem, timeout time.Duration) (Result, error) {
+	if err := c.Validate(); err != nil {
+		return Result{Case: c, Engine: c.engineFor()}, err
+	}
+	run := func() (res Result, err error) {
+		defer func() {
+			if r := recover(); r != nil {
+				res = Result{Case: c, Engine: c.engineFor()}
+				err = fmt.Errorf("campaign %s: panic: %v", c.Name, r)
+			}
+		}()
+		return Run(c, newFS(c))
+	}
+	if timeout <= 0 {
+		return run()
+	}
+	// The result travels through a buffered channel rather than shared
+	// variables: after a timeout the abandoned goroutine's send must not
+	// race the caller.
+	type outcome struct {
+		res Result
+		err error
+	}
+	done := make(chan outcome, 1)
+	go func() {
+		res, err := run()
+		done <- outcome{res, err}
+	}()
+	timer := time.NewTimer(timeout)
+	defer timer.Stop()
+	select {
+	case o := <-done:
+		return o.res, o.err
+	case <-timer.C:
+		return Result{Case: c, Engine: c.engineFor()},
+			fmt.Errorf("campaign %s: case timed out after %s", c.Name, timeout)
+	}
 }
 
 // Observation reduces a result to the feature tuple the predictive-sizing

@@ -1,0 +1,62 @@
+package campaign
+
+import (
+	"fmt"
+
+	"amrproxyio/internal/faults"
+)
+
+// Fault-injection experiments: a Case carries a faults.Plan (JSON
+// round-tripped like the engine, dist, and storage), SweepFaults expands
+// a case list into fault-free/faulted pairs, and report.ResilienceReport
+// renders the recovery-cost comparison. The sweep composes with
+// SweepDist and SweepStorage the same way those compose with each other.
+
+// FaultVariant names one member of a fault sweep.
+type FaultVariant struct {
+	// Name suffixes the sweep member ("<case>_<name>").
+	Name string
+	// Plan is the schedule the member runs under; nil is fault-free.
+	Plan *faults.Plan
+}
+
+// DefaultFaultVariants pairs each case with its fault-free baseline and
+// the faults.DefaultPlan schedule — the smallest sweep that shows a
+// resilience delta.
+func DefaultFaultVariants() []FaultVariant {
+	return []FaultVariant{
+		{Name: "nofault", Plan: nil},
+		{Name: "faults", Plan: faults.DefaultPlan()},
+	}
+}
+
+// SweepFaults expands cases into the fault cross-product: every case
+// times every variant, named "<case>_<variant>". No explicit variants
+// means DefaultFaultVariants. Like SweepDist and SweepStorage, the
+// expansion preserves case order — variants vary fastest — and the
+// three sweeps compose (SweepFaults(SweepStorage(SweepDist(cases))))
+// into the full strategy × tier × fault matrix.
+func SweepFaults(cases []Case, variants ...FaultVariant) []Case {
+	if len(variants) == 0 {
+		variants = DefaultFaultVariants()
+	}
+	out := make([]Case, 0, len(cases)*len(variants))
+	for _, c := range cases {
+		for _, v := range variants {
+			m := c
+			m.Faults = v.Plan
+			m.Name = SweepFaultsName(c.Name, v.Name)
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// SweepFaultsName is the name SweepFaults gives the (base case, variant)
+// member of a sweep, mirroring SweepName and SweepStorageName.
+func SweepFaultsName(base, variant string) string {
+	if variant == "" {
+		variant = "nofault"
+	}
+	return fmt.Sprintf("%s_%s", base, variant)
+}

@@ -63,6 +63,13 @@ type Characterization struct {
 	StallRanks   int     // stall stragglers summed over bursts
 	StallSeconds float64 // sum over bursts of the max-rank stall time
 	DrainSeconds float64 // sum over bursts of the post-burst drain tails
+
+	// Fault decomposition, populated only when the ledger carries
+	// injected-fault labels (an installed FaultInjector); all zero — and
+	// absent from Render — under fault-free runs.
+	FaultWrites  int     // writes an injected fault touched
+	Retries      int     // failed attempts summed over all writes
+	FaultSeconds float64 // sum over bursts of the max-rank fault time
 }
 
 // Characterize computes the profile from ledger records.
@@ -152,6 +159,9 @@ func Characterize(records []WriteRecord) Characterization {
 			c.StallRanks += b.StallRanks
 			c.StallSeconds += b.StallSeconds
 			c.DrainSeconds += b.DrainSeconds
+			c.FaultWrites += b.FaultWrites
+			c.Retries += b.Retries
+			c.FaultSeconds += b.FaultSeconds
 		}
 		c.MeanBurstBytes = bb / float64(len(bursts))
 	}
@@ -235,6 +245,10 @@ func (c Characterization) Render() string {
 		fmt.Fprintf(&sb, "  storage tiers    : bb %d B, gpfs spill %d B\n", c.BBBytes, c.SpillBytes)
 		fmt.Fprintf(&sb, "  burst buffer     : peak fill %.3f, %d stall stragglers, stall %.4gs, drain tail %.4gs\n",
 			c.MaxBBFill, c.StallRanks, c.StallSeconds, c.DrainSeconds)
+	}
+	if c.FaultWrites > 0 {
+		fmt.Fprintf(&sb, "  faults           : %d writes touched, %d retries, fault time %.4gs\n",
+			c.FaultWrites, c.Retries, c.FaultSeconds)
 	}
 	if len(c.SizeHistogram) > 0 {
 		fmt.Fprintln(&sb, "  size histogram (log2 buckets):")

@@ -50,6 +50,11 @@ type Config struct {
 	// BurstBuffer parameterizes the "bb"/"bb+gpfs" tiers; the zero value
 	// selects the Summit NVMe defaults (DefaultBurstBuffer).
 	BurstBuffer BurstBuffer
+	// Faults installs the deterministic fault-injection seam (fault.go):
+	// the injector prices writes on behalf of the storage model, charging
+	// retry/replay time and relabeling failover targets. nil — the zero
+	// value — keeps the write path byte-identical to the fault-free model.
+	Faults FaultInjector
 }
 
 // DefaultConfig returns a Summit-flavored model: 2.5 TB/s aggregate (the
@@ -105,6 +110,18 @@ type WriteRecord struct {
 	// BBFill is the writer's buffer-partition occupancy fraction (0..1)
 	// right after the write; 0 under single-tier models.
 	BBFill float64
+	// Fault labels the injected-fault kind that touched this write
+	// ("target-outage", "nic-degrade", "bb-loss"); empty — along with the
+	// two fields below — without an installed FaultInjector, keeping
+	// fault-free ledgers byte-identical.
+	Fault string
+	// Retries counts failed attempts (target outage) before the write
+	// went through.
+	Retries int
+	// FaultSeconds is the portion of Duration attributable to injected
+	// faults: retry backoff/timeouts, burst-buffer backlog replay, and
+	// NIC-degradation slowdown.
+	FaultSeconds float64
 }
 
 // shard is one rank's private slice of the filesystem state. Its mutex is
@@ -113,6 +130,7 @@ type WriteRecord struct {
 type shard struct {
 	mu      sync.Mutex
 	records []WriteRecord
+	faults  []FaultEvent
 	bytes   int64
 	clock   float64
 }
@@ -245,6 +263,9 @@ func (fs *FileSystem) Config() Config { return fs.cfg }
 // number of ranks that will write. EndBurst resets to uncontended mode.
 func (fs *FileSystem) BeginBurst(n int) {
 	fs.model.BeginBurst(n)
+	if inj := fs.cfg.Faults; inj != nil {
+		inj.BeginBurst(n)
+	}
 	if n > 0 {
 		fs.burstN.Store(int64(n))
 	}
@@ -254,6 +275,9 @@ func (fs *FileSystem) BeginBurst(n int) {
 // EndBurst marks the end of the current burst.
 func (fs *FileSystem) EndBurst() {
 	fs.model.EndBurst()
+	if inj := fs.cfg.Faults; inj != nil {
+		inj.EndBurst()
+	}
 }
 
 // Storage returns the installed storage-tier pricing model.
@@ -374,8 +398,9 @@ func (fs *FileSystem) write(rank int, path string, nbytes int64, data []byte, la
 	start := s.clock
 	// Price under the shard lock: the model may keep per-rank state
 	// (burst-buffer occupancy) keyed on rank's clock, and the lock
-	// serializes exactly this rank's transfers.
-	cost := fs.model.Price(rank, start, nbytes)
+	// serializes exactly this rank's transfers. The fault seam wraps the
+	// model call and may relabel the target on failover.
+	cost := fs.price(s, rank, start, nbytes, node, &target)
 	j := fs.jitter(rank, path)
 	dur := (fs.cfg.OpenLatency + cost.Seconds) * j
 	s.clock = start + dur
@@ -385,6 +410,8 @@ func (fs *FileSystem) write(rank int, path string, nbytes int64, data []byte, la
 		Node: node, Target: target,
 		Tier: cost.Tier, StallSeconds: cost.StallSeconds * j,
 		DrainSeconds: cost.DrainSeconds, BBFill: cost.BBFill,
+		Fault: cost.Fault, Retries: cost.Retries,
+		FaultSeconds: cost.FaultSeconds * j,
 	})
 	s.bytes += nbytes
 	s.mu.Unlock()
@@ -472,6 +499,9 @@ func (fs *FileSystem) Reset() {
 	fs.shards.Store(&empty)
 	fs.growMu.Unlock()
 	fs.model.Reset()
+	if inj := fs.cfg.Faults; inj != nil {
+		inj.Reset()
+	}
 	fs.retarget.Store(nil)
 	fs.burstN.Store(0)
 	fs.rpn.Store(int64(fs.cfg.Topology.ranksPerNode(0)))
@@ -556,6 +586,12 @@ type BurstStat struct {
 	StallSeconds float64 // max over ranks of time spent drain-stalled
 	StallRanks   int     // ranks that stalled at least once (stragglers)
 	DrainSeconds float64 // max over ranks of the post-burst drain tail
+
+	// Fault aggregations, populated only when records carry fault labels
+	// (an installed FaultInjector); all zero under fault-free runs.
+	FaultWrites  int     // writes an injected fault touched
+	Retries      int     // failed attempts summed over the burst's writes
+	FaultSeconds float64 // max over ranks of time lost to injected faults
 }
 
 // burstLink keys one (node, target) link of a burst.
@@ -584,6 +620,10 @@ func BurstStats(records []WriteRecord) []BurstStat {
 		maxFill             float64
 		stallPerRank        map[int]float64
 		lastDrain           map[int]float64
+
+		faultWrites  int
+		retries      int
+		faultPerRank map[int]float64
 	}
 	bySteps := map[int]*acc{}
 	for _, r := range records {
@@ -625,6 +665,14 @@ func BurstStats(records []WriteRecord) []BurstStat {
 			}
 			a.stallPerRank[r.Rank] += r.StallSeconds
 			a.lastDrain[r.Rank] = r.DrainSeconds // program order: last write wins
+		}
+		if r.Fault != "" {
+			if a.faultPerRank == nil {
+				a.faultPerRank = map[int]float64{}
+			}
+			a.faultWrites++
+			a.retries += r.Retries
+			a.faultPerRank[r.Rank] += r.FaultSeconds
 		}
 	}
 	steps := make([]int, 0, len(bySteps))
@@ -690,6 +738,15 @@ func BurstStats(records []WriteRecord) []BurstStat {
 			for _, drain := range a.lastDrain {
 				if drain > st.DrainSeconds {
 					st.DrainSeconds = drain
+				}
+			}
+		}
+		if a.faultPerRank != nil {
+			st.FaultWrites = a.faultWrites
+			st.Retries = a.retries
+			for _, f := range a.faultPerRank {
+				if f > st.FaultSeconds {
+					st.FaultSeconds = f
 				}
 			}
 		}

@@ -149,6 +149,18 @@ type WriteCost struct {
 	// BBFill is the writer's partition occupancy fraction (0..1) right
 	// after the write.
 	BBFill float64
+
+	// Fault annotations set by an installed FaultInjector (fault.go);
+	// all zero on the fault-free path so historical ledgers are
+	// byte-identical.
+	// Fault is the fault kind that touched the write ("" = none).
+	Fault string
+	// Retries counts failed attempts before the write went through.
+	Retries int
+	// FaultSeconds is the sub-interval of Seconds attributable to the
+	// fault (retry backoff/timeouts, backlog replay, slowdown); it is
+	// scaled by the same jitter as Seconds on the ledger record.
+	FaultSeconds float64
 }
 
 // StorageModel prices data transfers for a FileSystem. Implementations
@@ -483,6 +495,46 @@ func bbFill(occ, cap, b, d float64, nbytes int64) (sec, stall, end float64) {
 		end = occ
 	}
 	return sec, sec - bytes/b, end
+}
+
+// DropBuffer implements BufferFaults: a buffer-loss fault discards rank's
+// partition contents as of start on rank's clock. The lost backlog must be
+// rewritten through the backing tier, so the replay cost is the drained
+// occupancy over the rank's drain stream. Runs under rank's shard lock and
+// touches only rank-private state (static partitioning), matching Price.
+func (m *bbModel) DropBuffer(rank int, start float64) float64 {
+	m.mu.Lock()
+	st := m.ranks[rank]
+	if st == nil {
+		st = &bbRank{}
+		m.ranks[rank] = st
+	}
+	d := m.drainR
+	m.mu.Unlock()
+	if m.tiered {
+		if bw := m.backing.Bandwidth(rank); bw < d {
+			d = bw
+		}
+	}
+	if dt := start - st.last; dt > 0 {
+		st.occ -= dt * d
+		if st.occ < 0 {
+			st.occ = 0
+		}
+	}
+	occ := st.occ
+	st.occ = 0
+	st.last = start
+	if d <= 0 || occ <= 0 {
+		return 0
+	}
+	return occ / d
+}
+
+// FallbackBandwidth implements BufferFaults: the backing-tier stream
+// bandwidth rank writes at while its buffer partition is out.
+func (m *bbModel) FallbackBandwidth(rank int) float64 {
+	return m.backing.Bandwidth(rank)
 }
 
 func (m *bbModel) Retarget() { m.backing.Retarget() }
