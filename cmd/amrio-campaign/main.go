@@ -8,6 +8,7 @@
 //	               [-topology] [-dist roundrobin,knapsack,sfc] [-remap]
 //	               [-storage gpfs,bb,bb+gpfs] [-bbcap bytes]
 //	               [-faults plan.json | -faults '{"events":[...]}']
+//	               [-mitigate default | policy.json | '{"quarantine":true}']
 //
 // -quick (default) runs the campaign scaled for minutes-scale execution;
 // -quick=false runs paper-scale cases (hours; Summit-scale cases still use
@@ -50,6 +51,18 @@
 // per-case recovery model is rendered as a ResilienceReport (lost work,
 // restart reads, retries, failovers, forward-progress rate). Unknown
 // fault kinds and malformed plans are rejected before any case runs.
+// Runnable example plans live in examples/faultplans/.
+//
+// -mitigate expands every selected case into an unmitigated/mitigated
+// pair under the closed-loop resilience policy engine
+// (internal/resilience): adaptive Young/Daly checkpoint cadence, target
+// quarantine with immediate failover, and degraded-mode output under
+// fault pressure. "default" (or "on") enables all three policies;
+// inline JSON or a policy file tunes them. After the sweep the
+// MitigationReport renders the side-by-side outcome with per-pair
+// forward-progress deltas. Meaningful with -faults (without a fault
+// plan there is nothing to mitigate and the pair is identical); unknown
+// policy fields are rejected before any case runs.
 package main
 
 import (
@@ -64,6 +77,7 @@ import (
 	"amrproxyio/internal/faults"
 	"amrproxyio/internal/iosim"
 	"amrproxyio/internal/report"
+	"amrproxyio/internal/resilience"
 )
 
 func main() {
@@ -90,6 +104,8 @@ func run() error {
 		"per-node burst-buffer capacity in bytes for bb/bb+gpfs sweeps (0 = Summit's 1.6e12)")
 	faultsArg := flag.String("faults", "",
 		"fault-injection plan for every case: inline JSON or a path to a JSON file (see internal/faults)")
+	mitigateArg := flag.String("mitigate", "",
+		"mitigation policy sweep: 'default' enables all policies, or inline JSON / a path to a JSON policy file (see internal/resilience)")
 	flag.Parse()
 
 	// An explicit -bbcap must be positive: letting 0 or a negative
@@ -105,6 +121,10 @@ func run() error {
 		return fmt.Errorf("-bbcap must be positive, got %g", *bbcap)
 	}
 	plan, err := faults.Load(*faultsArg)
+	if err != nil {
+		return err
+	}
+	policy, err := resilience.Load(*mitigateArg)
 	if err != nil {
 		return err
 	}
@@ -160,6 +180,14 @@ func run() error {
 			cases[i].Faults = plan
 		}
 	}
+	// The mitigation sweep nests innermost: each (dist × storage) member
+	// becomes an unmitigated/mitigated pair under the same fault plan.
+	mitBases := cases
+	if policy != nil {
+		cases = campaign.SweepMitigate(cases,
+			campaign.MitigateVariant{Name: "nomitigate"},
+			campaign.MitigateVariant{Name: "mitigate", Policy: policy})
+	}
 	for _, c := range cases {
 		if err := c.Validate(); err != nil {
 			return err
@@ -168,7 +196,7 @@ func run() error {
 
 	// Ledgers are retained per case while its summary is computed, then
 	// freed; the sweeps keep only the compact summary rows.
-	keepLedgers := *topology || len(dists) > 0 || len(storages) > 0 || plan != nil
+	keepLedgers := *topology || len(dists) > 0 || len(storages) > 0 || plan != nil || policy != nil
 	var mu sync.Mutex
 	ledgers := map[string]*iosim.FileSystem{}
 	results, err := campaign.RunAll(cases, *parallel, func(c campaign.Case) *iosim.FileSystem {
@@ -191,6 +219,7 @@ func run() error {
 	distSums := map[string]report.DistSummary{}
 	storageSums := map[string]report.StorageSummary{}
 	var resilSums []report.ResilienceSummary
+	mitSums := map[string]report.MitigationSummary{}
 	for i, res := range results {
 		c := cases[i]
 		line := fmt.Sprintf("%-18s %-9s %9s in %8v (%d plots)",
@@ -219,6 +248,12 @@ func run() error {
 					Name:       c.Name,
 					Resilience: faults.Analyze(plan, ledger, fs.FaultEvents()),
 				})
+			}
+			if policy != nil {
+				mitSums[c.Name] = report.MitigationSummary{
+					Name:    c.Name,
+					Outcome: resilience.Evaluate(c.Name, c.Faults, ledger, fs.FaultEvents(), res.Mitigation),
+				}
 			}
 			// Each case's ledger is only needed for its own summaries;
 			// free it now so a large sweep doesn't hold every case's
@@ -277,6 +312,22 @@ func run() error {
 	if len(resilSums) > 0 {
 		fmt.Println()
 		fmt.Printf("resilience under injected faults:\n%s", report.ResilienceReport(resilSums))
+	}
+	// The mitigation comparison: unmitigated vs. mitigated per base
+	// case, with the forward-progress delta line the CI gate checks.
+	if policy != nil {
+		var pairs []report.MitigationPair
+		for _, base := range mitBases {
+			un, okU := mitSums[campaign.SweepMitigateName(base.Name, "nomitigate")]
+			mit, okM := mitSums[campaign.SweepMitigateName(base.Name, "mitigate")]
+			if okU && okM {
+				pairs = append(pairs, report.MitigationPair{Base: base.Name, Unmitigated: un, Mitigated: mit})
+			}
+		}
+		if len(pairs) > 0 {
+			fmt.Println()
+			fmt.Printf("mitigation comparison:\n%s", report.MitigationReport(pairs))
+		}
 	}
 	fmt.Println()
 	fmt.Println(report.TableIII(results))

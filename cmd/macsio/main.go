@@ -14,7 +14,13 @@
 // drain overlaps, and -v's characterization reports per-tier bytes,
 // buffer fill, and stall stragglers. -faults installs a deterministic
 // fault-injection plan (inline JSON or a path; see internal/faults);
-// -v then also renders the run's resilience summary.
+// -v then also renders the run's resilience summary. -mitigate enables
+// the closed-loop resilience engine ("default"/"on", inline policy JSON,
+// or a path; see internal/resilience) — MACSio's dumps are checkpoints
+// with a fixed count, so the engine's seam here is target quarantine:
+// between dumps it trips circuit breakers on storming targets and routes
+// the next dump's writes to failover targets instead of retrying into
+// the outage. -v then also prints the mitigation summary.
 package main
 
 import (
@@ -27,6 +33,7 @@ import (
 	"amrproxyio/internal/iosim"
 	"amrproxyio/internal/macsio"
 	"amrproxyio/internal/report"
+	"amrproxyio/internal/resilience"
 )
 
 func main() {
@@ -38,7 +45,7 @@ func main() {
 
 func run() error {
 	// Split our own flags (before "--") from MACSio flags.
-	var outdir, storage, faultsArg string
+	var outdir, storage, faultsArg, mitigateArg string
 	var verbose bool
 	var nodes, targets int
 	fl := flag.NewFlagSet("macsio", flag.ContinueOnError)
@@ -62,6 +69,11 @@ func run() error {
 		case "-faults", "--faults":
 			if i+1 < len(args) {
 				faultsArg = args[i+1]
+				i++
+			}
+		case "-mitigate", "--mitigate":
+			if i+1 < len(args) {
+				mitigateArg = args[i+1]
 				i++
 			}
 		case "-nodes", "--nodes":
@@ -139,10 +151,19 @@ func run() error {
 	if inj := plan.Injector(fsCfg.Topology); inj != nil {
 		fsCfg.Faults = inj
 	}
+	// -mitigate turns the injected faults from a passive stress into a
+	// closed loop: the policy is validated here (unknown fields exit
+	// non-zero before any dump runs), and the engine attaches only when
+	// there is an injector to mitigate against.
+	policy, err := resilience.Load(mitigateArg)
+	if err != nil {
+		return err
+	}
 	fs := iosim.New(fsCfg, outdir)
+	eng := resilience.ForFileSystem(policy, fs, cfg.NProcs)
 
 	fmt.Printf("macsio: %s\n", cfg.CommandLine())
-	recs, err := macsio.Run(fs, cfg)
+	recs, err := macsio.RunMitigated(fs, cfg, eng)
 	if err != nil {
 		return err
 	}
@@ -169,6 +190,11 @@ func run() error {
 			}
 			fmt.Printf("resilience under injected faults:\n%s",
 				report.ResilienceReport([]report.ResilienceSummary{sum}))
+		}
+		if eng != nil {
+			out := resilience.Evaluate("macsio", plan, fs.Ledger(), fs.FaultEvents(), eng.Stats())
+			fmt.Printf("mitigation summary:\n%s",
+				report.MitigationTable([]report.MitigationSummary{{Name: "macsio", Outcome: out}}))
 		}
 	}
 	return nil

@@ -1,0 +1,32 @@
+package amrproxyio_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"amrproxyio/internal/faults"
+)
+
+// TestExampleFaultPlansParse smoke-checks every plan under
+// examples/faultplans/: each must load through the same faults.Load the
+// CLIs use, validate, and actually inject something (a zero plan in the
+// examples directory would be a silent doc rot).
+func TestExampleFaultPlansParse(t *testing.T) {
+	paths, err := filepath.Glob(filepath.Join("examples", "faultplans", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 3 {
+		t.Fatalf("expected at least 3 example fault plans, found %d", len(paths))
+	}
+	for _, p := range paths {
+		plan, err := faults.Load(p)
+		if err != nil {
+			t.Errorf("faults.Load(%q): %v", p, err)
+			continue
+		}
+		if plan.Zero() {
+			t.Errorf("plan %q parses but injects nothing", p)
+		}
+	}
+}

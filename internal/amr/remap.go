@@ -82,6 +82,72 @@ func RemapToTargets(dm DistributionMapping, topo iosim.Topology, loads []int64) 
 	return out
 }
 
+// RemapToTargetsAvoiding is RemapToTargets with a quarantine set: ranks
+// are packed only onto targets not in avoid (the resilience engine's
+// open circuit breakers). With an empty avoid it delegates to
+// RemapToTargets unchanged, preserving that function's never-worsens
+// invariant; with a non-empty avoid the incumbent comparison is
+// deliberately skipped — routing around a degraded target matters more
+// than fan-in, since every write landing on it pays the retry storm
+// (or, mitigated, still loses its share of the healthy fan-out). When
+// every target is quarantined there is nowhere to route, so it falls
+// back to the plain remap.
+func RemapToTargetsAvoiding(dm DistributionMapping, topo iosim.Topology, loads []int64, avoid map[int]bool) []int {
+	if len(avoid) == 0 {
+		return RemapToTargets(dm, topo, loads)
+	}
+	if !topo.Enabled() || topo.Targets <= 0 || len(dm.Owner) == 0 {
+		return nil
+	}
+	var healthy []int
+	for tgt := 0; tgt < topo.Targets; tgt++ {
+		if !avoid[tgt] {
+			healthy = append(healthy, tgt)
+		}
+	}
+	if len(healthy) == 0 {
+		return RemapToTargets(dm, topo, loads)
+	}
+	nprocs := 0
+	for _, o := range dm.Owner {
+		if o+1 > nprocs {
+			nprocs = o + 1
+		}
+	}
+	if nprocs == 0 {
+		return nil
+	}
+	perRank := make([]int64, nprocs)
+	for i, o := range dm.Owner {
+		if o >= 0 && i < len(loads) {
+			perRank[o] += loads[i]
+		}
+	}
+	order := make([]int, nprocs)
+	for r := range order {
+		order[r] = r
+	}
+	sort.SliceStable(order, func(a, b int) bool {
+		return perRank[order[a]] > perRank[order[b]]
+	})
+	targetLoad := make([]int64, topo.Targets)
+	targetRanks := make([]int, topo.Targets)
+	out := make([]int, nprocs)
+	for _, r := range order {
+		best := healthy[0]
+		for _, tgt := range healthy[1:] {
+			if targetLoad[tgt] < targetLoad[best] ||
+				(targetLoad[tgt] == targetLoad[best] && targetRanks[tgt] < targetRanks[best]) {
+				best = tgt
+			}
+		}
+		out[r] = best
+		targetLoad[best] += perRank[r]
+		targetRanks[best]++
+	}
+	return out
+}
+
 func maxLoad(loads []int64) int64 {
 	var m int64
 	for _, l := range loads {

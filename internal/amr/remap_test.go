@@ -142,3 +142,75 @@ func TestRemapNeverWorseThanRoundRobin(t *testing.T) {
 		}
 	}
 }
+
+// TestRemapAvoidingEmptyDelegates: an empty (or nil) avoid set must
+// behave exactly like RemapToTargets, incumbent comparison included.
+func TestRemapAvoidingEmptyDelegates(t *testing.T) {
+	dm := DistributionMapping{Owner: []int{0, 1, 2, 3, 4, 5, 6, 7}}
+	loads := []int64{10, 10, 10, 10, 10, 10, 10, 10}
+	if m := RemapToTargetsAvoiding(dm, topoWithTargets(3), loads, nil); m != nil {
+		t.Fatalf("uniform loads with empty avoid remapped to %v, want nil", m)
+	}
+	skewed := []int64{100, 1, 1, 1, 1, 1, 1, 1}
+	want := RemapToTargets(dm, topoWithTargets(3), skewed)
+	got := RemapToTargetsAvoiding(dm, topoWithTargets(3), skewed, map[int]bool{})
+	if len(want) != len(got) {
+		t.Fatalf("empty-avoid remap diverged: %v vs %v", got, want)
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("empty-avoid remap diverged at %d: %v vs %v", i, got, want)
+		}
+	}
+}
+
+// TestRemapAvoidingRoutesAroundQuarantine: no rank may land on an
+// avoided target, even when that makes the fan-in worse than the
+// incumbent round-robin — a quarantined target costs a retry storm per
+// write, which dominates fan-in contention.
+func TestRemapAvoidingRoutesAroundQuarantine(t *testing.T) {
+	dm := DistributionMapping{Owner: []int{0, 1, 2, 3, 4, 5}}
+	loads := []int64{10, 10, 10, 10, 10, 10}
+	avoid := map[int]bool{0: true, 2: true}
+	m := RemapToTargetsAvoiding(dm, topoWithTargets(4), loads, avoid)
+	if m == nil {
+		t.Fatal("uniform loads with a quarantine set produced no remap (ranks would stay on dead targets)")
+	}
+	if len(m) != 6 {
+		t.Fatalf("remap covers %d ranks, want 6", len(m))
+	}
+	for r, tgt := range m {
+		if avoid[tgt] {
+			t.Errorf("rank %d routed to quarantined target %d", r, tgt)
+		}
+		if tgt < 0 || tgt >= 4 {
+			t.Errorf("rank %d routed outside the target range: %d", r, tgt)
+		}
+	}
+	// The healthy targets share the load evenly: 3 ranks each on 1 and 3.
+	counts := map[int]int{}
+	for _, tgt := range m {
+		counts[tgt]++
+	}
+	if counts[1] != 3 || counts[3] != 3 {
+		t.Errorf("healthy fan-out unbalanced: %v", counts)
+	}
+}
+
+// TestRemapAvoidingAllQuarantined: with nowhere to route, fall back to
+// the plain remap rather than inventing an invalid layout.
+func TestRemapAvoidingAllQuarantined(t *testing.T) {
+	dm := DistributionMapping{Owner: []int{0, 1, 2, 3}}
+	loads := []int64{10, 10, 10, 10}
+	avoid := map[int]bool{0: true, 1: true}
+	got := RemapToTargetsAvoiding(dm, topoWithTargets(2), loads, avoid)
+	want := RemapToTargets(dm, topoWithTargets(2), loads)
+	if (got == nil) != (want == nil) || len(got) != len(want) {
+		t.Fatalf("all-quarantined fallback diverged: %v vs %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("all-quarantined fallback diverged at %d: %v vs %v", i, got, want)
+		}
+	}
+}

@@ -1,0 +1,41 @@
+package campaign
+
+import (
+	"testing"
+	"time"
+)
+
+// TestCaseTimeoutAbandonmentCounted: WithCaseTimeout cannot preempt a
+// stuck case goroutine, only abandon it — the leak-telemetry contract is
+// that AbandonedInFlight counts the abandoned goroutine while it is
+// still running and returns to its prior level once the goroutine's
+// buffered result is drained. A stuck drain here would be a goroutine
+// leak in long-lived sweep services.
+func TestCaseTimeoutAbandonmentCounted(t *testing.T) {
+	before := AbandonedInFlight()
+	// Big enough to outlive a 1 ms timeout by orders of magnitude, small
+	// enough to finish (and drain) within the test.
+	c := Case{
+		Name: "slow", NCell: 4096, MaxLevel: 2, MaxStep: 40, PlotInt: 2,
+		CFL: 0.5, NProcs: 256, Nodes: 64, Engine: EngineSurrogate,
+		ComputeSeconds: 0.1,
+	}
+	results, err := RunAll([]Case{c}, 1, nil, WithCaseTimeout(time.Millisecond))
+	if err == nil {
+		t.Fatal("expected a case-timeout error")
+	}
+	if len(results) != 1 || !results[0].Abandoned {
+		t.Fatalf("timed-out case not marked abandoned: %+v", results)
+	}
+	if got := AbandonedInFlight(); got <= before {
+		t.Errorf("abandoned goroutine not counted: in-flight %d, was %d", got, before)
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for AbandonedInFlight() > before {
+		if time.Now().After(deadline) {
+			t.Fatalf("abandoned case goroutine leaked: %d still in flight after 30s",
+				AbandonedInFlight()-before)
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

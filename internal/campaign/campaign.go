@@ -7,6 +7,7 @@ import (
 	"os"
 	"runtime"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"amrproxyio/internal/core"
@@ -14,6 +15,7 @@ import (
 	"amrproxyio/internal/inputs"
 	"amrproxyio/internal/iosim"
 	"amrproxyio/internal/plotfile"
+	"amrproxyio/internal/resilience"
 	"amrproxyio/internal/sim"
 	"amrproxyio/internal/surrogate"
 )
@@ -72,6 +74,12 @@ type Case struct {
 	// effect through FSConfig, like Storage; invalid plans are rejected
 	// by Validate.
 	Faults *faults.Plan `json:"faults,omitempty"`
+	// Mitigate enables the closed-loop fault-mitigation policy engine
+	// (internal/resilience) against the case's fault plan: adaptive
+	// checkpoint cadence, target quarantine, and degraded-mode output.
+	// nil (and the zero policy) keeps every path byte-identical; invalid
+	// policies are rejected by Validate.
+	Mitigate *resilience.Policy `json:"mitigate,omitempty"`
 }
 
 // Validate consolidates the case-level name checks — unknown engine,
@@ -94,6 +102,9 @@ func (c Case) Validate() error {
 		return fmt.Errorf("campaign %s: negative compute_seconds %g", c.Name, c.ComputeSeconds)
 	}
 	if err := c.Faults.Validate(); err != nil {
+		return fmt.Errorf("campaign %s: %w", c.Name, err)
+	}
+	if err := c.Mitigate.Validate(); err != nil {
 		return fmt.Errorf("campaign %s: %w", c.Name, err)
 	}
 	return nil
@@ -199,6 +210,13 @@ type Result struct {
 	NPlots  int                     `json:"n_plots"`
 	SimTime float64                 `json:"sim_time"`
 	Wall    time.Duration           `json:"wall_ns"`
+	// Mitigation carries the policy engine's action counters when
+	// Case.Mitigate ran one; nil otherwise.
+	Mitigation *resilience.Stats `json:"mitigation,omitempty"`
+	// Abandoned marks a WithCaseTimeout result whose work goroutine was
+	// left running in the background (Go cannot preempt it); see
+	// AbandonedInFlight for the live count.
+	Abandoned bool `json:"abandoned,omitempty"`
 }
 
 // TotalBytes sums the ledger.
@@ -225,6 +243,7 @@ func Run(c Case, fs *iosim.FileSystem) (Result, error) {
 		opts.Dist = strat
 		opts.Remap = c.Remap
 		opts.StepSeconds = c.ComputeSeconds
+		opts.Mitigate = c.Mitigate
 		s, err := sim.New(cfg, opts, fs)
 		if err != nil {
 			return res, fmt.Errorf("campaign %s: %w", c.Name, err)
@@ -235,11 +254,13 @@ func Run(c Case, fs *iosim.FileSystem) (Result, error) {
 		res.Records = s.Records()
 		res.NPlots = s.NPlots()
 		res.SimTime = s.Time
+		res.Mitigation = s.Mitigation()
 	case EngineSurrogate:
 		opts := surrogate.DefaultOptions()
 		opts.Dist = strat
 		opts.Remap = c.Remap
 		opts.StepSeconds = c.ComputeSeconds
+		opts.Mitigate = c.Mitigate
 		r, err := surrogate.New(cfg, opts, fs)
 		if err != nil {
 			return res, fmt.Errorf("campaign %s: %w", c.Name, err)
@@ -250,6 +271,7 @@ func Run(c Case, fs *iosim.FileSystem) (Result, error) {
 		res.Records = r.Records()
 		res.NPlots = r.NPlots()
 		res.SimTime = r.Time
+		res.Mitigation = r.Mitigation()
 	default:
 		return res, fmt.Errorf("campaign %s: unknown engine %q", c.Name, res.Engine)
 	}
@@ -265,12 +287,27 @@ type runOptions struct {
 }
 
 // WithCaseTimeout bounds each case's wall-clock run time: a case still
-// running after d returns a timeout-error Result while the pool moves
-// on. The abandoned case's goroutine finishes (and is discarded) in the
-// background — Go cannot preempt it — so timeouts are for surfacing
-// stuck sweeps, not reclaiming their work. d <= 0 disables the bound.
+// running after d returns a timeout-error Result (Result.Abandoned set)
+// while the pool moves on. The abandoned case's goroutine finishes (and
+// is discarded) in the background — Go cannot preempt it — so timeouts
+// are for surfacing stuck sweeps, not reclaiming their work. The
+// abandoned work is no longer invisible: AbandonedInFlight counts the
+// goroutines still running. d <= 0 disables the bound.
 func WithCaseTimeout(d time.Duration) RunOption {
 	return func(o *runOptions) { o.caseTimeout = d }
+}
+
+// abandonedInFlight counts case goroutines abandoned by WithCaseTimeout
+// that are still running. Incremented when a timeout fires, decremented
+// by a per-case drainer when the abandoned goroutine finally finishes.
+var abandonedInFlight atomic.Int64
+
+// AbandonedInFlight reports how many timed-out case goroutines are
+// still running in the background across all RunAll pools — leak
+// telemetry for long-lived sweep services (and the leak-detection
+// test). 0 when every abandoned case has since finished.
+func AbandonedInFlight() int {
+	return int(abandonedInFlight.Load())
 }
 
 // RunAll executes cases concurrently on up to parallelism workers and
@@ -360,7 +397,15 @@ func runCase(c Case, newFS func(Case) *iosim.FileSystem, timeout time.Duration) 
 	case o := <-done:
 		return o.res, o.err
 	case <-timer.C:
-		return Result{Case: c, Engine: c.engineFor()},
+		// Count the goroutine we are abandoning, and drain its (exactly
+		// one, buffered) send when it eventually finishes so the count
+		// returns to zero instead of leaking silently.
+		abandonedInFlight.Add(1)
+		go func() {
+			<-done
+			abandonedInFlight.Add(-1)
+		}()
+		return Result{Case: c, Engine: c.engineFor(), Abandoned: true},
 			fmt.Errorf("campaign %s: case timed out after %s", c.Name, timeout)
 	}
 }

@@ -1,0 +1,66 @@
+package campaign
+
+import (
+	"fmt"
+
+	"amrproxyio/internal/resilience"
+)
+
+// Mitigation experiments: a Case carries a resilience.Policy (JSON
+// round-tripped like the fault plan), SweepMitigate expands a case list
+// into unmitigated/mitigated pairs, and report.MitigationReport renders
+// the forward-progress comparison. The sweep composes with SweepFaults,
+// SweepStorage, and SweepDist the same way those compose with each
+// other — the natural shape is SweepMitigate(SweepFaults(cases)), which
+// produces the (fault plan × policy) matrix the headline delta comes
+// from.
+
+// MitigateVariant names one member of a mitigation sweep.
+type MitigateVariant struct {
+	// Name suffixes the sweep member ("<case>_<name>").
+	Name string
+	// Policy is the mitigation policy the member runs under; nil is
+	// unmitigated.
+	Policy *resilience.Policy
+}
+
+// DefaultMitigateVariants pairs each case with its unmitigated baseline
+// and the all-policies-on resilience.DefaultPolicy — the smallest sweep
+// that shows a mitigation delta.
+func DefaultMitigateVariants() []MitigateVariant {
+	return []MitigateVariant{
+		{Name: "nomitigate", Policy: nil},
+		{Name: "mitigate", Policy: resilience.DefaultPolicy()},
+	}
+}
+
+// SweepMitigate expands cases into the mitigation cross-product: every
+// case times every variant, named "<case>_<variant>". No explicit
+// variants means DefaultMitigateVariants. Like the other sweeps, the
+// expansion preserves case order — variants vary fastest — and composes
+// with SweepFaults/SweepStorage/SweepDist into the full strategy × tier
+// × fault × policy matrix.
+func SweepMitigate(cases []Case, variants ...MitigateVariant) []Case {
+	if len(variants) == 0 {
+		variants = DefaultMitigateVariants()
+	}
+	out := make([]Case, 0, len(cases)*len(variants))
+	for _, c := range cases {
+		for _, v := range variants {
+			m := c
+			m.Mitigate = v.Policy
+			m.Name = SweepMitigateName(c.Name, v.Name)
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// SweepMitigateName is the name SweepMitigate gives the (base case,
+// variant) member of a sweep, mirroring SweepFaultsName.
+func SweepMitigateName(base, variant string) string {
+	if variant == "" {
+		variant = "nomitigate"
+	}
+	return fmt.Sprintf("%s_%s", base, variant)
+}

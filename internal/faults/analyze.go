@@ -2,7 +2,6 @@ package faults
 
 import (
 	"math"
-	"math/rand"
 	"sort"
 
 	"amrproxyio/internal/iosim"
@@ -36,6 +35,12 @@ type Resilience struct {
 	// makespan / (makespan + lost work + restart reads). 1 under a
 	// fault-free run.
 	ForwardProgress float64
+	// ObservedMTBFSeconds is the censored-MLE mean time between failures
+	// over the interrupt schedule the run actually saw (MTBFEstimator);
+	// 0 when no interrupt occurred. This is the same estimate the online
+	// resilience engine converges to, so post-hoc and closed-loop views
+	// agree.
+	ObservedMTBFSeconds float64
 	// YoungIntervalSeconds is the Young/Daly optimal checkpoint
 	// interval sqrt(2 * C * MTBF) for the run's mean checkpoint cost C;
 	// 0 when the plan has no MTBF.
@@ -91,23 +96,18 @@ func Analyze(plan *Plan, records []iosim.WriteRecord, events []iosim.FaultEvent)
 	sort.Slice(ckpts, func(i, j int) bool { return ckpts[i].end < ckpts[j].end })
 	r.Checkpoints = len(ckpts)
 
-	// Interrupt schedule: explicit events plus MTBF draws.
-	var interrupts []float64
-	if plan != nil {
-		for _, e := range plan.Events {
-			if e.Kind == KindRankInterrupt {
-				interrupts = append(interrupts, e.Start)
-			}
-		}
-		if plan.MTBFSeconds > 0 && r.Makespan > 0 {
-			rng := rand.New(rand.NewSource(plan.Seed))
-			for t := rng.ExpFloat64() * plan.MTBFSeconds; t <= r.Makespan; t += rng.ExpFloat64() * plan.MTBFSeconds {
-				interrupts = append(interrupts, t)
-			}
-		}
-	}
-	sort.Float64s(interrupts)
+	// Interrupt schedule: explicit events plus MTBF draws, shared with
+	// the online resilience engine via Plan.Interrupts (prefix-stable in
+	// the horizon, so both views replay the same deaths).
+	interrupts := plan.Interrupts(r.Makespan)
 	r.Interrupts = len(interrupts)
+
+	var est MTBFEstimator
+	for _, t := range interrupts {
+		est.Observe(t)
+	}
+	est.AdvanceTo(r.Makespan)
+	r.ObservedMTBFSeconds = est.Estimate()
 
 	// Each interrupt discards the work since the last completed
 	// checkpoint (all of it when none completed yet) and re-reads that

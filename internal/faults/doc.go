@@ -26,7 +26,14 @@
 //
 // MTBFSeconds > 0 additionally draws exponential rank interrupts from
 // Seed, which is what makes a Young/Daly optimal-interval analysis fall
-// out of a cadence sweep (YoungInterval).
+// out of a cadence sweep (YoungInterval). Plan.Interrupts materializes
+// the full interrupt schedule up to a horizon, prefix-stable: growing
+// the horizon only appends draws, never reshuffles earlier ones, so an
+// online consumer (the resilience engine) and the post-hoc Analyze see
+// the same prefix. MTBFEstimator is the shared online counterpart: a
+// censored-exponential MLE (horizon / interrupts-so-far) that both
+// Analyze's report and resilience's adaptive checkpoint cadence feed
+// into YoungInterval.
 //
 // Determinism contract: Plan.Injector implements iosim.FaultInjector,
 // which is consulted under each rank's shard lock with the rank's own

@@ -4,7 +4,9 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"math/rand"
 	"os"
+	"sort"
 	"strings"
 )
 
@@ -24,6 +26,12 @@ const (
 	// from the last completed checkpoint (consumed by Analyze).
 	KindRankInterrupt = "rank-interrupt"
 )
+
+// MitigationQuarantine labels writes (WriteRecord.Mitigated) and fault
+// events whose retry storm a quarantine circuit breaker absorbed: the
+// write failed over immediately instead of burning retries against a
+// target the resilience engine already knows is out.
+const MitigationQuarantine = "quarantine"
 
 // Kinds returns the valid fault kinds, in documentation order.
 func Kinds() []string {
@@ -64,10 +72,14 @@ type Event struct {
 	Factor float64 `json:"factor,omitempty"`
 }
 
-// active reports whether the event's window covers simulated time t.
-func (e Event) active(t float64) bool {
+// Active reports whether the event's window covers simulated time t.
+func (e Event) Active(t float64) bool {
 	return t >= e.Start && (e.End <= 0 || t < e.End)
 }
+
+// active is the historical unexported spelling the injector hot path
+// uses.
+func (e Event) active(t float64) bool { return e.Active(t) }
 
 // Plan is a deterministic fault schedule plus recovery-cost knobs. The
 // zero value (and nil) is the fault-free plan. Plans round-trip through
@@ -121,6 +133,34 @@ func (p *Plan) maxRetries() int {
 func (p *Plan) retrySeconds() float64 {
 	n := p.maxRetries()
 	return float64(n)*p.retryTimeout() + p.retryBackoff()*float64(n*(n+1))/2
+}
+
+// Interrupts materializes the plan's rank-death schedule, sorted
+// ascending: every explicit rank-interrupt event (unconditionally —
+// Analyze has always counted scheduled deaths even past the run's
+// makespan) plus, when horizon > 0, the MTBF-driven exponential draws
+// from Seed up to horizon. The draws are prefix-stable: extending the
+// horizon appends interrupts without perturbing earlier ones, which is
+// what lets the online resilience engine and the post-hoc Analyze agree
+// on the schedule they both saw.
+func (p *Plan) Interrupts(horizon float64) []float64 {
+	if p == nil {
+		return nil
+	}
+	var interrupts []float64
+	for _, e := range p.Events {
+		if e.Kind == KindRankInterrupt {
+			interrupts = append(interrupts, e.Start)
+		}
+	}
+	if p.MTBFSeconds > 0 && horizon > 0 {
+		rng := rand.New(rand.NewSource(p.Seed))
+		for t := rng.ExpFloat64() * p.MTBFSeconds; t <= horizon; t += rng.ExpFloat64() * p.MTBFSeconds {
+			interrupts = append(interrupts, t)
+		}
+	}
+	sort.Float64s(interrupts)
+	return interrupts
 }
 
 // Validate rejects malformed plans the way campaign.Case.Validate

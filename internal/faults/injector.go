@@ -2,6 +2,7 @@ package faults
 
 import (
 	"sync"
+	"sync/atomic"
 
 	"amrproxyio/internal/iosim"
 )
@@ -13,6 +14,13 @@ import (
 type Injector struct {
 	plan    Plan
 	targets int // topology's storage-target count; 0 = no failover pool
+
+	// quar holds the quarantine map the resilience engine installed
+	// between bursts (iosim.Quarantiner): target → breaker-open-until
+	// second. Published atomically because Price reads it from many rank
+	// goroutines; only ever swapped between bursts, so every write in a
+	// burst sees the same map (determinism contract).
+	quar atomic.Pointer[map[int]float64]
 
 	// dropped tracks which (bb-loss event, rank) pairs have already paid
 	// the backlog-replay cost — the partition is only lost once per
@@ -53,11 +61,45 @@ func (in *Injector) BeginBurst(n int) {}
 func (in *Injector) EndBurst() {}
 
 // Reset implements iosim.FaultInjector: lost partitions become lossable
-// again.
+// again and installed quarantines are cleared.
 func (in *Injector) Reset() {
 	in.mu.Lock()
 	in.dropped = map[dropKey]bool{}
 	in.mu.Unlock()
+	in.quar.Store(nil)
+}
+
+// Plan returns a copy of the injector's validated fault plan. The
+// resilience engine reads it back through iosim.Config.Faults so the
+// online view replays exactly the schedule the write path prices.
+func (in *Injector) Plan() Plan { return in.plan }
+
+// Targets returns the failover pool size the injector was built with.
+func (in *Injector) Targets() int { return in.targets }
+
+// Quarantine implements iosim.Quarantiner: install the circuit-breaker
+// map (target → open-until second). Must only be called between bursts;
+// the map is copied so the caller may keep mutating its own.
+func (in *Injector) Quarantine(until map[int]float64) {
+	if len(until) == 0 {
+		in.quar.Store(nil)
+		return
+	}
+	cp := make(map[int]float64, len(until))
+	for tgt, t := range until {
+		cp[tgt] = t
+	}
+	in.quar.Store(&cp)
+}
+
+// quarantined reports whether a breaker is open for target at time t.
+func (in *Injector) quarantined(target int, t float64) bool {
+	p := in.quar.Load()
+	if p == nil || target < 0 {
+		return false
+	}
+	until, ok := (*p)[target]
+	return ok && t < until
 }
 
 // matchNode reports whether the event covers a write from node
@@ -168,6 +210,23 @@ func (in *Injector) Price(model iosim.StorageModel, rank int, start float64, nby
 		for _, e := range in.plan.Events {
 			if e.Kind != KindTargetOutage || !e.active(start) || !matchTarget(e, target) {
 				continue
+			}
+			// Circuit breaker: the resilience engine has quarantined this
+			// target, so fail over immediately at fault-free price instead
+			// of re-paying the storm (only when a healthy target exists to
+			// take the write; the aggregate model has no placement to
+			// reroute).
+			if in.quarantined(target, start) {
+				if ft := in.failover(target, start); ft >= 0 {
+					cost = model.Price(rank, start, nbytes)
+					cost.Fault = KindTargetOutage
+					cost.Mitigated = MitigationQuarantine
+					ev.Kind = KindTargetOutage
+					ev.FailoverTarget = ft
+					ev.Mitigated = true
+					priced = true
+					break
+				}
 			}
 			retries := in.plan.maxRetries()
 			retrySec := in.plan.retrySeconds()

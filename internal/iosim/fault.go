@@ -38,6 +38,12 @@ type FaultEvent struct {
 	// FailoverTarget is the storage target the write was redirected to
 	// after exhausting retries (-1 when the write kept its target).
 	FailoverTarget int
+	// Mitigated marks an event a resilience policy absorbed: the fault
+	// matched the write, but an installed circuit breaker (Quarantiner)
+	// made it fail over immediately instead of paying the retry storm,
+	// so Seconds is 0 and Retries is 0. Always false without a policy
+	// engine, keeping PR-6 event streams byte-identical.
+	Mitigated bool
 }
 
 // FaultInjector prices writes on behalf of the installed StorageModel
@@ -62,6 +68,22 @@ type FaultInjector interface {
 	Price(model StorageModel, rank int, start float64, nbytes int64, node, target int) (cost WriteCost, ev FaultEvent, faulted bool)
 	// Reset restores the post-construction zero state (FileSystem.Reset).
 	Reset()
+}
+
+// Quarantiner is the optional FaultInjector extension a between-burst
+// resilience policy engine (internal/resilience) uses to install target
+// circuit breakers: writes routed to a quarantined target skip the retry
+// storm and fail over immediately, labeled WriteRecord.Mitigated and
+// FaultEvent.Mitigated. until maps target index → the simulated second
+// the breaker closes again; an empty or nil map clears every breaker.
+//
+// Determinism contract: Quarantine must only be called between bursts
+// (like Retarget and Reset) — installing a breaker while writes are in
+// flight would make which writes it covers depend on goroutine
+// scheduling. The installed map is consulted from the Price hot path, so
+// implementations publish it atomically.
+type Quarantiner interface {
+	Quarantine(until map[int]float64)
 }
 
 // BufferFaults is the optional StorageModel extension the fault injector

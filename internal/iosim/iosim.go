@@ -122,6 +122,11 @@ type WriteRecord struct {
 	// faults: retry backoff/timeouts, burst-buffer backlog replay, and
 	// NIC-degradation slowdown.
 	FaultSeconds float64
+	// Mitigated names the resilience policy that absorbed a fault on
+	// this write ("quarantine": the circuit breaker skipped the retry
+	// storm and failed over immediately). Empty without a policy engine,
+	// keeping fault-only and fault-free ledgers byte-identical.
+	Mitigated string
 }
 
 // shard is one rank's private slice of the filesystem state. Its mutex is
@@ -412,6 +417,7 @@ func (fs *FileSystem) write(rank int, path string, nbytes int64, data []byte, la
 		DrainSeconds: cost.DrainSeconds, BBFill: cost.BBFill,
 		Fault: cost.Fault, Retries: cost.Retries,
 		FaultSeconds: cost.FaultSeconds * j,
+		Mitigated:    cost.Mitigated,
 	})
 	s.bytes += nbytes
 	s.mu.Unlock()
@@ -683,8 +689,18 @@ func BurstStats(records []WriteRecord) []BurstStat {
 	out := make([]BurstStat, 0, len(steps))
 	for _, s := range steps {
 		a := bySteps[s]
+		// Float sums run in sorted key order: map iteration order is
+		// random and float addition is not associative, so an unordered
+		// sum would make equal ledgers produce last-ulp-different stats
+		// (breaking byte-identical report pins).
+		ranks := make([]int, 0, len(a.perRank))
+		for r := range a.perRank {
+			ranks = append(ranks, r)
+		}
+		sort.Ints(ranks)
 		var wall, sum float64
-		for _, d := range a.perRank {
+		for _, r := range ranks {
+			d := a.perRank[r]
 			if d > wall {
 				wall = d
 			}
@@ -711,8 +727,19 @@ func BurstStats(records []WriteRecord) []BurstStat {
 		}
 		if len(a.perLink) > 0 {
 			st.Links = len(a.perLink)
+			links := make([]burstLink, 0, len(a.perLink))
+			for l := range a.perLink {
+				links = append(links, l)
+			}
+			sort.Slice(links, func(i, j int) bool {
+				if links[i].node != links[j].node {
+					return links[i].node < links[j].node
+				}
+				return links[i].target < links[j].target
+			})
 			var linkSum float64
-			for _, d := range a.perLink {
+			for _, l := range links {
+				d := a.perLink[l]
 				if d > st.MaxLinkSeconds {
 					st.MaxLinkSeconds = d
 				}

@@ -161,6 +161,10 @@ type WriteCost struct {
 	// fault (retry backoff/timeouts, backlog replay, slowdown); it is
 	// scaled by the same jitter as Seconds on the ledger record.
 	FaultSeconds float64
+	// Mitigated names the resilience policy that absorbed the fault
+	// ("quarantine"); empty on the unmitigated path so PR-6 ledgers stay
+	// byte-identical.
+	Mitigated string
 }
 
 // StorageModel prices data transfers for a FileSystem. Implementations

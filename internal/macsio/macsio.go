@@ -23,6 +23,7 @@ import (
 
 	"amrproxyio/internal/iosim"
 	"amrproxyio/internal/mpisim"
+	"amrproxyio/internal/resilience"
 )
 
 // Interface selects the output encoder.
@@ -152,6 +153,24 @@ type DumpRecord struct {
 
 // Run executes the proxy: NumDumps bulk-synchronous dumps through fs.
 func Run(fs *iosim.FileSystem, cfg Config) ([]DumpRecord, error) {
+	return RunMitigated(fs, cfg, nil)
+}
+
+// RunMitigated is Run with a closed-loop resilience engine observing
+// between dumps. MACSio's dumps are checkpoints — never shed — and the
+// dump count is fixed by the command line, so the only policy with a
+// seam here is target quarantine: after each dump, rank 0 observes the
+// fault-event stream and installs the circuit-breaker set before the
+// next dump's writes start. The extra barrier that publishes the
+// quarantine set to all ranks exists only on the mitigated path; a nil
+// engine reproduces Run's historical barrier sequence exactly, keeping
+// unmitigated runs byte-identical.
+//
+// Determinism: rank 0 observes at a full barrier — every rank has
+// advanced its clock for the step and no writes are in flight — so the
+// observation (and the breaker set each dump's writes see) is a pure
+// function of deterministic state under any goroutine interleaving.
+func RunMitigated(fs *iosim.FileSystem, cfg Config, eng *resilience.Engine) ([]DumpRecord, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
@@ -163,6 +182,12 @@ func Run(fs *iosim.FileSystem, cfg Config) ([]DumpRecord, error) {
 				fs.AdvanceClock(rank, cfg.ComputeTime)
 			}
 			c.Barrier() // dumps are synchronized bursts
+			if eng != nil {
+				if rank == 0 {
+					eng.Observe(fs)
+				}
+				c.Barrier() // writes wait for the installed quarantine set
+			}
 			fs.BeginBurst(cfg.NProcs)
 
 			nbytes, err := writeRankDump(fs, cfg, rank, step)

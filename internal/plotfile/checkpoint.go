@@ -34,18 +34,26 @@ type CheckpointSpec struct {
 	NComp  int // conserved components
 	Levels []LevelSpec
 	NProcs int
+	// SizeOnly prices the checkpoint without materializing state — the
+	// exact Cell_D sizes through WriteSize, like a state-free plot
+	// level. A size-only checkpoint cannot restart (nothing round-trips)
+	// but produces the identical ledger: it exists for the surrogate
+	// engine, whose hierarchy carries no field memory.
+	SizeOnly bool
 }
 
-// WriteCheckpoint emits the checkpoint through fs. State must be non-nil
-// on every level (checkpoints always carry data; there is no size-only
-// mode because restart must round-trip).
+// WriteCheckpoint emits the checkpoint through fs. Unless spec.SizeOnly,
+// State must be non-nil on every level — a restartable checkpoint always
+// carries data.
 func WriteCheckpoint(fs *iosim.FileSystem, spec CheckpointSpec) ([]OutputRecord, error) {
 	if spec.NProcs < 1 || len(spec.Levels) == 0 {
 		return nil, fmt.Errorf("plotfile: bad checkpoint spec (nprocs=%d levels=%d)", spec.NProcs, len(spec.Levels))
 	}
-	for l, lev := range spec.Levels {
-		if lev.State == nil {
-			return nil, fmt.Errorf("plotfile: checkpoint level %d has no state", l)
+	if !spec.SizeOnly {
+		for l, lev := range spec.Levels {
+			if lev.State == nil {
+				return nil, fmt.Errorf("plotfile: checkpoint level %d has no state", l)
+			}
 		}
 	}
 	labels := func(level int) iosim.Labels {
@@ -78,12 +86,21 @@ func WriteCheckpoint(fs *iosim.FileSystem, spec CheckpointSpec) ([]OutputRecord,
 				continue
 			}
 			path := CellDPath(spec.Root, l, rank)
-			data := encodeCellD(lev, owned, spec.NComp)
-			if _, err := fs.Write(rank, path, data, labels(l)); err != nil {
-				return err
+			var nbytes int64
+			if spec.SizeOnly {
+				nbytes = CellDBytes(lev.BA, owned, spec.NComp)
+				if _, err := fs.WriteSize(rank, path, nbytes, labels(l)); err != nil {
+					return err
+				}
+			} else {
+				data := encodeCellD(lev, owned, spec.NComp)
+				if _, err := fs.Write(rank, path, data, labels(l)); err != nil {
+					return err
+				}
+				nbytes = int64(len(data))
 			}
 			results[rank] = append(results[rank], OutputRecord{
-				Step: spec.Step, Level: l, Rank: rank, Bytes: int64(len(data)),
+				Step: spec.Step, Level: l, Rank: rank, Bytes: nbytes,
 			})
 		}
 		return nil

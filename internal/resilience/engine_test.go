@@ -1,0 +1,295 @@
+package resilience
+
+import (
+	"testing"
+
+	"amrproxyio/internal/faults"
+	"amrproxyio/internal/iosim"
+)
+
+// faultedFS builds a 2-rank filesystem with target modeling (rank r →
+// target r) and the plan's injector installed.
+func faultedFS(t *testing.T, plan *faults.Plan) *iosim.FileSystem {
+	t.Helper()
+	cfg := iosim.DefaultConfig()
+	cfg.JitterSigma = 0
+	cfg.Topology = iosim.Topology{Nodes: 1, Targets: 2}
+	inj := plan.Injector(cfg.Topology)
+	if inj == nil {
+		t.Fatal("plan built no injector")
+	}
+	cfg.Faults = inj
+	return iosim.New(cfg, "")
+}
+
+// outagePlan takes target 0 down open-endedly: every rank-0 write storms
+// and fails over to target 1.
+func outagePlan() *faults.Plan {
+	return &faults.Plan{Events: []faults.Event{
+		{Kind: faults.KindTargetOutage, Start: 0, Target: 0},
+	}}
+}
+
+func TestNilEngineSafe(t *testing.T) {
+	var e *Engine
+	fs := iosim.New(iosim.DefaultConfig(), "")
+	if e.Clock(fs) != 0 {
+		t.Error("nil Clock != 0")
+	}
+	e.Observe(fs)
+	if e.ShedPlot(fs, 100) {
+		t.Error("nil engine shed a plot")
+	}
+	if e.CheckpointDue(fs) {
+		t.Error("nil engine demanded a checkpoint")
+	}
+	e.BurstWritten(fs, 0, true)
+	if e.Adaptive() {
+		t.Error("nil engine claims adaptive cadence")
+	}
+	if e.AvoidTargets() != nil {
+		t.Error("nil engine avoids targets")
+	}
+	if e.NodeFactor(0) != 1 {
+		t.Error("nil NodeFactor != 1")
+	}
+	e.ScaleLoads(iosim.Topology{Nodes: 2, Targets: 2}, 2, []int{0}, []int64{10})
+	if e.Stats() != nil {
+		t.Error("nil engine returned stats")
+	}
+}
+
+func TestForFileSystemNilPaths(t *testing.T) {
+	fs := faultedFS(t, outagePlan())
+	if eng := ForFileSystem(nil, fs, 2); eng != nil {
+		t.Error("nil policy built an engine")
+	}
+	if eng := ForFileSystem(&Policy{}, fs, 2); eng != nil {
+		t.Error("zero policy built an engine")
+	}
+	// No injector installed → nothing to mitigate.
+	plain := iosim.New(iosim.DefaultConfig(), "")
+	if eng := ForFileSystem(DefaultPolicy(), plain, 2); eng != nil {
+		t.Error("injector-free filesystem built an engine")
+	}
+	if eng := ForFileSystem(DefaultPolicy(), fs, 2); eng == nil {
+		t.Error("armed policy + injector built no engine")
+	}
+}
+
+// TestQuarantineBreaker drives the full loop: rank 0's writes storm
+// against the dead target, the breaker trips after the threshold, the
+// quarantine set reaches the injector, and the next write fails over
+// immediately as a Mitigated event.
+func TestQuarantineBreaker(t *testing.T) {
+	fs := faultedFS(t, outagePlan())
+	eng := ForFileSystem(&Policy{Quarantine: true}, fs, 2)
+	if eng == nil {
+		t.Fatal("no engine")
+	}
+
+	write := func(step int, name string) {
+		fs.BeginBurst(2)
+		if _, err := fs.WriteSize(0, name, 1<<20, iosim.Labels{Step: step}); err != nil {
+			t.Fatal(err)
+		}
+		fs.EndBurst()
+	}
+
+	// Two storms (the default threshold) in the first two bursts.
+	write(0, "a")
+	write(1, "b")
+	eng.Observe(fs)
+	avoid := eng.AvoidTargets()
+	if !avoid[0] {
+		t.Fatalf("breaker did not trip after 2 storms: avoid = %v", avoid)
+	}
+	if avoid[1] {
+		t.Fatalf("healthy target quarantined: %v", avoid)
+	}
+
+	// The quarantined write fails over immediately: Mitigated, no storm.
+	write(2, "c")
+	evs := fs.FaultEvents()
+	if len(evs) != 3 {
+		t.Fatalf("got %d fault events, want 3", len(evs))
+	}
+	for i := 0; i < 2; i++ {
+		if evs[i].Mitigated || evs[i].Seconds <= 0 || evs[i].Retries == 0 {
+			t.Errorf("pre-trip event %d should be a full storm: %+v", i, evs[i])
+		}
+	}
+	last := evs[2]
+	if !last.Mitigated || last.Seconds != 0 || last.Retries != 0 {
+		t.Errorf("quarantined write not mitigated: %+v", last)
+	}
+	if last.FailoverTarget != 1 {
+		t.Errorf("quarantined write failed over to %d, want 1", last.FailoverTarget)
+	}
+
+	st := eng.Stats()
+	if st == nil || st.QuarantinedTargets != 1 {
+		t.Errorf("stats = %+v, want 1 quarantined target", st)
+	}
+
+	// Mitigated events must not feed the breaker counters: re-observing
+	// with the mitigated event in the stream keeps exactly one trip
+	// anchored at the same event.
+	eng.Observe(fs)
+	if avoid2 := eng.AvoidTargets(); !avoid2[0] || len(avoid2) != 1 {
+		t.Errorf("breaker state drifted on re-observe: %v", avoid2)
+	}
+}
+
+// TestBreakerRebuildDeterministic: the breaker map is a pure function of
+// the stream — observing once or many times, the open-until anchor is
+// the tripping event's start plus the cooldown, never the observation
+// time.
+func TestBreakerRebuildDeterministic(t *testing.T) {
+	fs := faultedFS(t, outagePlan())
+	engA := ForFileSystem(&Policy{Quarantine: true}, fs, 2)
+	for step := 0; step < 2; step++ {
+		fs.BeginBurst(2)
+		if _, err := fs.WriteSize(0, "f", 1<<20, iosim.Labels{Step: step}); err != nil {
+			t.Fatal(err)
+		}
+		fs.EndBurst()
+	}
+	// engA observed nothing yet; observe 5 times vs. a fresh engine's 1.
+	for i := 0; i < 5; i++ {
+		engA.Observe(fs)
+	}
+	engB := ForFileSystem(&Policy{Quarantine: true}, fs, 2)
+	engB.Observe(fs)
+	a, b := engA.AvoidTargets(), engB.AvoidTargets()
+	if len(a) != len(b) || !a[0] || !b[0] {
+		t.Errorf("observation cadence changed the breaker set: %v vs %v", a, b)
+	}
+}
+
+// TestShedStreak: degraded-mode output sheds under pressure but never
+// two plots in a row (default streak cap 1), and a written plot re-arms
+// the shed.
+func TestShedStreak(t *testing.T) {
+	fs := faultedFS(t, outagePlan())
+	eng := ForFileSystem(&Policy{DegradedOutput: true}, fs, 2)
+	// A storm makes rank 0's timeline nearly all fault time: pressure ≈ 1.
+	fs.BeginBurst(2)
+	if _, err := fs.WriteSize(0, "a", 1<<20, iosim.Labels{Step: 0}); err != nil {
+		t.Fatal(err)
+	}
+	fs.EndBurst()
+
+	if !eng.ShedPlot(fs, 500) {
+		t.Fatal("no shed under storm pressure")
+	}
+	if eng.ShedPlot(fs, 500) {
+		t.Fatal("second consecutive shed exceeded the streak cap")
+	}
+	// Writing a plot resets the streak; pressure is unchanged (no new
+	// fault time, no clock movement), so the next plot sheds again.
+	eng.BurstWritten(fs, eng.Clock(fs), false)
+	if !eng.ShedPlot(fs, 700) {
+		t.Fatal("streak did not re-arm after a written plot")
+	}
+	st := eng.Stats()
+	if st.ShedBursts != 2 || st.ShedBytes != 1200 {
+		t.Errorf("shed stats = %+v, want 2 bursts / 1200 bytes", st)
+	}
+}
+
+// TestAdaptiveCheckpointCadence: no retiming before evidence (no
+// interrupts observed, no burst walls), then due once the Young/Daly
+// interval elapses; the MinCheckpointSeconds floor holds it back.
+func TestAdaptiveCheckpointCadence(t *testing.T) {
+	plan := faults.Plan{MTBFSeconds: 1, Seed: 3}
+	fs := iosim.New(iosim.DefaultConfig(), "")
+	eng := New(&Policy{AdaptiveCheckpoint: true}, plan, 1, nil)
+	if !eng.Adaptive() {
+		t.Fatal("adaptive engine not adaptive")
+	}
+
+	if eng.CheckpointDue(fs) {
+		t.Fatal("checkpoint due with zero evidence")
+	}
+	// Advance to t=5: the seeded 1s-MTBF process has interrupts by then,
+	// so the online estimate is live — but no burst wall yet.
+	fs.AdvanceClock(0, 5)
+	if eng.CheckpointDue(fs) {
+		t.Fatal("checkpoint due without an observed burst wall")
+	}
+	eng.BurstWritten(fs, 4, false) // 1s plot-burst wall: C is now observed
+	// 5s at risk since run start >> sqrt(2·1·MTBF): due. A plot burst
+	// must NOT have re-anchored the interval.
+	if !eng.CheckpointDue(fs) {
+		t.Fatal("checkpoint not due despite 5s at risk")
+	}
+	eng.BurstWritten(fs, 5, true) // the checkpoint re-anchors at t=5
+	if eng.CheckpointDue(fs) {
+		t.Fatal("checkpoint due immediately after a checkpoint")
+	}
+	fs.AdvanceClock(0, 5) // t=10: 5s since the checkpoint anchor
+	if !eng.CheckpointDue(fs) {
+		t.Fatal("checkpoint never came due again")
+	}
+	st := eng.Stats()
+	if st.AdaptiveCheckpoints != 1 {
+		t.Errorf("adaptive checkpoints = %d, want 1", st.AdaptiveCheckpoints)
+	}
+	if st.ObservedMTBFSeconds <= 0 {
+		t.Errorf("online MTBF estimate = %g, want > 0", st.ObservedMTBFSeconds)
+	}
+
+	// The floor: an enormous MinCheckpointSeconds suppresses the cadence.
+	floored := New(&Policy{AdaptiveCheckpoint: true, MinCheckpointSeconds: 1e6}, plan, 1, nil)
+	floored.BurstWritten(fs, 9, false)
+	fs.AdvanceClock(0, 50)
+	if floored.CheckpointDue(fs) {
+		t.Error("floored cadence still triggered")
+	}
+}
+
+// TestCheckpointCounterGated: a quarantine-only engine must not count
+// fixed-cadence checkpoints as adaptive ones.
+func TestCheckpointCounterGated(t *testing.T) {
+	fs := faultedFS(t, outagePlan())
+	eng := ForFileSystem(&Policy{Quarantine: true}, fs, 2)
+	eng.BurstWritten(fs, 0, true)
+	if st := eng.Stats(); st.AdaptiveCheckpoints != 0 {
+		t.Errorf("quarantine-only engine counted %d adaptive checkpoints", st.AdaptiveCheckpoints)
+	}
+	if eng.Adaptive() {
+		t.Error("quarantine-only engine claims the checkpoint cadence")
+	}
+}
+
+// TestNodeFactorAndScaleLoads: active nic-degrade windows multiply into
+// the node factor, and ScaleLoads inflates the affected ranks' loads.
+func TestNodeFactorAndScaleLoads(t *testing.T) {
+	plan := faults.Plan{Events: []faults.Event{
+		{Kind: faults.KindNICDegrade, Start: 0, End: 100, Node: 0, Factor: 0.5},
+		{Kind: faults.KindNICDegrade, Start: 200, End: 300, Node: 1, Factor: 0.1},
+	}}
+	fs := iosim.New(iosim.DefaultConfig(), "")
+	eng := New(&Policy{Quarantine: true}, plan, 4, nil)
+	fs.AdvanceClock(0, 10) // inside node 0's window, outside node 1's
+	eng.Observe(fs)
+	if f := eng.NodeFactor(0); f != 0.5 {
+		t.Errorf("node 0 factor = %g, want 0.5", f)
+	}
+	if f := eng.NodeFactor(1); f != 1 {
+		t.Errorf("node 1 factor = %g, want 1 (window not yet open)", f)
+	}
+
+	topo := iosim.Topology{Nodes: 2, RanksPerNode: 2, Targets: 2}
+	// Ranks 0,1 on node 0 (degraded), ranks 2,3 on node 1 (healthy).
+	owner := []int{0, 2}
+	loads := []int64{1000, 1000}
+	eng.ScaleLoads(topo, 4, owner, loads)
+	if loads[0] != 2000 {
+		t.Errorf("degraded-node load = %d, want 2000 (inflated by 1/0.5)", loads[0])
+	}
+	if loads[1] != 1000 {
+		t.Errorf("healthy-node load = %d, want 1000", loads[1])
+	}
+}

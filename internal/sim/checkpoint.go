@@ -97,10 +97,12 @@ func Restore(dir string, cfg inputs.CastroInputs, opts Options, fs *iosim.FileSy
 }
 
 // RunWithCheckpoints is Run plus checkpoint output on the check_int
-// cadence.
+// cadence. When the mitigation policy owns the cadence
+// (AdaptiveCheckpoint), the fixed schedule stands down and checkpoints
+// land on the engine's Young/Daly retiming instead.
 func (s *Sim) RunWithCheckpoints() error {
 	if s.ShouldPlot() && s.fs != nil {
-		if err := s.WritePlot(); err != nil {
+		if err := s.maybePlot(); err != nil {
 			return err
 		}
 	}
@@ -115,12 +117,16 @@ func (s *Sim) RunWithCheckpoints() error {
 			}
 		}
 		if s.ShouldPlot() && s.fs != nil {
-			if err := s.WritePlot(); err != nil {
+			if err := s.maybePlot(); err != nil {
 				return err
 			}
 		}
-		if s.ShouldCheckpoint() && s.fs != nil {
-			if err := s.WriteCheckpoint(); err != nil {
+		if s.engine.Adaptive() {
+			if err := s.maybeAdaptiveCheckpoint(); err != nil {
+				return err
+			}
+		} else if s.ShouldCheckpoint() && s.fs != nil {
+			if err := s.writeCheckpointTracked(); err != nil {
 				return err
 			}
 		}

@@ -1,0 +1,65 @@
+package sim
+
+import (
+	"amrproxyio/internal/plotfile"
+	"amrproxyio/internal/resilience"
+)
+
+// Closed-loop mitigation hooks (internal/resilience): the run loops
+// route plot and checkpoint bursts through these so an installed policy
+// engine can shed plots under fault pressure and retime checkpoints to
+// the observed Young/Daly interval. With no engine (the common case)
+// every hook collapses to the historical path — the engine methods are
+// all nil-receiver no-ops — keeping policy-free runs byte-identical.
+
+// maybePlot writes the scheduled plotfile unless degraded-mode output
+// sheds it; written bursts feed the engine's burst-wall estimate.
+func (s *Sim) maybePlot() error {
+	if s.engine != nil && s.engine.ShedPlot(s.fs, s.plotBytesEstimate()) {
+		return nil
+	}
+	t0 := s.engine.Clock(s.fs)
+	if err := s.WritePlot(); err != nil {
+		return err
+	}
+	s.engine.BurstWritten(s.fs, t0, false)
+	return nil
+}
+
+// maybeAdaptiveCheckpoint writes a checkpoint when the adaptive cadence
+// calls for one (never on a fixed schedule — that path stays in
+// RunWithCheckpoints).
+func (s *Sim) maybeAdaptiveCheckpoint() error {
+	if s.fs == nil || !s.engine.Adaptive() || !s.engine.CheckpointDue(s.fs) {
+		return nil
+	}
+	return s.writeCheckpointTracked()
+}
+
+// writeCheckpointTracked is WriteCheckpoint plus engine bookkeeping.
+func (s *Sim) writeCheckpointTracked() error {
+	t0 := s.engine.Clock(s.fs)
+	if err := s.WriteCheckpoint(); err != nil {
+		return err
+	}
+	s.engine.BurstWritten(s.fs, t0, true)
+	return nil
+}
+
+// plotBytesEstimate is the nominal Cell_D payload of a plot burst over
+// the current hierarchy — what ShedPlot records as shed bytes.
+func (s *Sim) plotBytesEstimate() int64 {
+	var total int64
+	for _, lev := range s.Levels {
+		idx := make([]int, len(lev.BA.Boxes))
+		for i := range idx {
+			idx[i] = i
+		}
+		total += plotfile.CellDBytes(lev.BA, idx, len(PlotVarNames))
+	}
+	return total
+}
+
+// Mitigation returns the engine's action counters, or nil when no
+// mitigation policy ran.
+func (s *Sim) Mitigation() *resilience.Stats { return s.engine.Stats() }

@@ -20,6 +20,7 @@ import (
 	"amrproxyio/internal/inputs"
 	"amrproxyio/internal/iosim"
 	"amrproxyio/internal/plotfile"
+	"amrproxyio/internal/resilience"
 	"amrproxyio/internal/sedov"
 )
 
@@ -57,6 +58,13 @@ type Options struct {
 	// overlaps compute the way the paper's runs do. 0 (the default)
 	// keeps the historical clocks byte-identical.
 	StepSeconds float64
+	// Mitigate enables the closed-loop fault-mitigation policy engine
+	// (internal/resilience): adaptive checkpoint cadence, target
+	// quarantine, and degraded-mode output, driven between bursts by the
+	// run's own fault events. A nil or zero policy (or a filesystem
+	// without a fault injector) builds no engine and keeps every path
+	// byte-identical.
+	Mitigate *resilience.Policy
 }
 
 // DefaultOptions mirrors the Castro Sedov problem setup.
@@ -97,6 +105,10 @@ type Sim struct {
 
 	checkpointRecords []plotfile.OutputRecord
 	nCheckpoints      int
+
+	// engine is the between-burst mitigation engine; nil (the common
+	// case) disables mitigation with zero overhead.
+	engine *resilience.Engine
 }
 
 const nGhost = 2 // MUSCL-Hancock stencil width
@@ -110,6 +122,7 @@ func New(cfg inputs.CastroInputs, opts Options, fs *iosim.FileSystem) (*Sim, err
 		return nil, err
 	}
 	s := &Sim{Cfg: cfg, Opts: opts, fs: fs}
+	s.engine = resilience.ForFileSystem(opts.Mitigate, fs, cfg.NProcs)
 	dom := grid.NewBox(grid.IV(0, 0), grid.IV(cfg.NCell[0]-1, cfg.NCell[1]-1))
 	g0 := grid.NewGeom(dom, cfg.ProbLo, cfg.ProbHi)
 	ba0 := amr.SingleBoxArray(dom, cfg.MaxGridSize, cfg.BlockingFactor)
@@ -399,7 +412,8 @@ func (s *Sim) WritePlot() error {
 // topology's targets. Without target modeling the remap is nil and
 // Retarget keeps the round-robin placement.
 func (s *Sim) remapTargets() error {
-	if !s.Opts.Remap || s.fs == nil {
+	avoid := s.engine.AvoidTargets()
+	if (!s.Opts.Remap && len(avoid) == 0) || s.fs == nil {
 		return nil
 	}
 	var owner []int
@@ -411,7 +425,8 @@ func (s *Sim) remapTargets() error {
 		}
 	}
 	topo := s.fs.Config().Topology
-	m := amr.RemapToTargets(amr.DistributionMapping{Owner: owner}, topo, loads)
+	s.engine.ScaleLoads(topo, s.Cfg.NProcs, owner, loads)
+	m := amr.RemapToTargetsAvoiding(amr.DistributionMapping{Owner: owner}, topo, loads, avoid)
 	// The remap covers ranks up to the highest box owner; Retarget
 	// validates full burst coverage, so pad box-less top ranks with
 	// their round-robin placement.
@@ -482,7 +497,7 @@ func (s *Sim) derivePlotData(lev *Level) *amr.MultiFab {
 // until max_step or stop_time. Plotting can be disabled with PlotInt<=0.
 func (s *Sim) Run() error {
 	if s.ShouldPlot() && s.fs != nil {
-		if err := s.WritePlot(); err != nil {
+		if err := s.maybePlot(); err != nil {
 			return err
 		}
 	}
@@ -498,9 +513,12 @@ func (s *Sim) Run() error {
 			}
 		}
 		if s.ShouldPlot() && s.fs != nil {
-			if err := s.WritePlot(); err != nil {
+			if err := s.maybePlot(); err != nil {
 				return err
 			}
+		}
+		if err := s.maybeAdaptiveCheckpoint(); err != nil {
+			return err
 		}
 	}
 	return nil

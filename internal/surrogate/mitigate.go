@@ -1,0 +1,107 @@
+package surrogate
+
+import (
+	"fmt"
+
+	"amrproxyio/internal/hydro"
+	"amrproxyio/internal/plotfile"
+	"amrproxyio/internal/resilience"
+	"amrproxyio/internal/sim"
+)
+
+// Closed-loop mitigation hooks, mirroring internal/sim's: plots route
+// through the shed decision, and checkpoints are written only when the
+// adaptive cadence calls for one. The surrogate has no fixed checkpoint
+// schedule of its own (the paper's analysis covers plot dumps), so
+// engine-driven checkpoints are the only source of checkpoint bursts
+// here — which also keeps policy-free surrogate runs byte-identical.
+
+// maybePlot writes the scheduled size-only plotfile unless
+// degraded-mode output sheds it.
+func (r *Runner) maybePlot() error {
+	if r.engine != nil && r.engine.ShedPlot(r.fs, r.plotBytesEstimate()) {
+		return nil
+	}
+	t0 := r.engine.Clock(r.fs)
+	if err := r.WritePlot(); err != nil {
+		return err
+	}
+	r.engine.BurstWritten(r.fs, t0, false)
+	return nil
+}
+
+// maybeAdaptiveCheckpoint writes a size-only checkpoint when the
+// adaptive cadence calls for one.
+func (r *Runner) maybeAdaptiveCheckpoint() error {
+	if r.fs == nil || !r.engine.Adaptive() || !r.engine.CheckpointDue(r.fs) {
+		return nil
+	}
+	t0 := r.engine.Clock(r.fs)
+	if err := r.WriteCheckpoint(); err != nil {
+		return err
+	}
+	r.engine.BurstWritten(r.fs, t0, true)
+	return nil
+}
+
+// WriteCheckpoint emits a size-only checkpoint of the current
+// hierarchy: the conserved state's volume (hydro.NCons components)
+// through the same N-to-N writer as plots, with no field memory —
+// exactly how the solver's checkpoints price, at surrogate scale.
+func (r *Runner) WriteCheckpoint() error {
+	if r.fs == nil {
+		return fmt.Errorf("surrogate: no filesystem configured")
+	}
+	if err := r.remapTargets(); err != nil {
+		return err
+	}
+	spec := plotfile.CheckpointSpec{
+		Root:     fmt.Sprintf("%s%05d", r.Cfg.CheckFile, r.Step),
+		Time:     r.Time,
+		Step:     r.Step,
+		LastDt:   r.LastDt,
+		NComp:    hydro.NCons,
+		NProcs:   r.Cfg.NProcs,
+		SizeOnly: true,
+	}
+	for l := range r.BAs {
+		spec.Levels = append(spec.Levels, plotfile.LevelSpec{
+			Geom:     r.Geoms[l],
+			BA:       r.BAs[l],
+			DM:       r.DMs[l],
+			RefRatio: r.Cfg.RefRatioAt(l),
+		})
+	}
+	recs, err := plotfile.WriteCheckpoint(r.fs, spec)
+	if err != nil {
+		return err
+	}
+	r.checkpointRecords = append(r.checkpointRecords, recs...)
+	r.nCheckpoints++
+	return nil
+}
+
+// CheckpointRecords returns the checkpoint output ledger (kept separate
+// from plot records, like sim's).
+func (r *Runner) CheckpointRecords() []plotfile.OutputRecord { return r.checkpointRecords }
+
+// NCheckpoints returns how many checkpoints were written.
+func (r *Runner) NCheckpoints() int { return r.nCheckpoints }
+
+// plotBytesEstimate is the nominal Cell_D payload of a plot dump over
+// the current hierarchy — what ShedPlot records as shed bytes.
+func (r *Runner) plotBytesEstimate() int64 {
+	var total int64
+	for l := range r.BAs {
+		idx := make([]int, len(r.BAs[l].Boxes))
+		for i := range idx {
+			idx[i] = i
+		}
+		total += plotfile.CellDBytes(r.BAs[l], idx, len(sim.PlotVarNames))
+	}
+	return total
+}
+
+// Mitigation returns the engine's action counters, or nil when no
+// mitigation policy ran.
+func (r *Runner) Mitigation() *resilience.Stats { return r.engine.Stats() }

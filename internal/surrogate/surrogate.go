@@ -32,6 +32,7 @@ import (
 	"amrproxyio/internal/inputs"
 	"amrproxyio/internal/iosim"
 	"amrproxyio/internal/plotfile"
+	"amrproxyio/internal/resilience"
 	"amrproxyio/internal/sedov"
 	"amrproxyio/internal/sim"
 )
@@ -63,6 +64,13 @@ type Options struct {
 	// SignalFactor converts the shock speed into the dt-limiting signal
 	// speed (shock + post-shock acoustics).
 	SignalFactor float64
+	// Mitigate enables the closed-loop fault-mitigation policy engine
+	// (internal/resilience), exactly as sim.Options.Mitigate does: shed
+	// plots under fault pressure, quarantine failing targets, and write
+	// Young/Daly-retimed (size-only) checkpoints. A nil or zero policy —
+	// or a filesystem without a fault injector — builds no engine and
+	// keeps every path byte-identical.
+	Mitigate *resilience.Policy
 }
 
 // DefaultOptions mirrors the solver's refinement behavior.
@@ -92,6 +100,13 @@ type Runner struct {
 	fs      *iosim.FileSystem
 	records []plotfile.OutputRecord
 	nPlots  int
+
+	checkpointRecords []plotfile.OutputRecord
+	nCheckpoints      int
+
+	// engine is the between-burst mitigation engine; nil (the common
+	// case) disables mitigation with zero overhead.
+	engine *resilience.Engine
 }
 
 // New builds the surrogate at its starting time (front at roughly the
@@ -101,6 +116,7 @@ func New(cfg inputs.CastroInputs, opts Options, fs *iosim.FileSystem) (*Runner, 
 		return nil, err
 	}
 	r := &Runner{Cfg: cfg, Opts: opts, fs: fs}
+	r.engine = resilience.ForFileSystem(opts.Mitigate, fs, cfg.NProcs)
 	dom := grid.NewBox(grid.IV(0, 0), grid.IV(cfg.NCell[0]-1, cfg.NCell[1]-1))
 	g := grid.NewGeom(dom, cfg.ProbLo, cfg.ProbHi)
 	r.Geoms = []grid.Geom{g}
@@ -307,7 +323,7 @@ func (r *Runner) WritePlot() error {
 // stop_time.
 func (r *Runner) Run() error {
 	if r.ShouldPlot() && r.fs != nil {
-		if err := r.WritePlot(); err != nil {
+		if err := r.maybePlot(); err != nil {
 			return err
 		}
 	}
@@ -323,9 +339,12 @@ func (r *Runner) Run() error {
 			}
 		}
 		if r.ShouldPlot() && r.fs != nil {
-			if err := r.WritePlot(); err != nil {
+			if err := r.maybePlot(); err != nil {
 				return err
 			}
+		}
+		if err := r.maybeAdaptiveCheckpoint(); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -337,7 +356,8 @@ func (r *Runner) Run() error {
 // across the topology's targets. Without target modeling the remap is
 // nil and Retarget keeps the round-robin placement.
 func (r *Runner) remapTargets() error {
-	if !r.Opts.Remap || r.fs == nil {
+	avoid := r.engine.AvoidTargets()
+	if (!r.Opts.Remap && len(avoid) == 0) || r.fs == nil {
 		return nil
 	}
 	var owner []int
@@ -349,7 +369,8 @@ func (r *Runner) remapTargets() error {
 		}
 	}
 	topo := r.fs.Config().Topology
-	m := amr.RemapToTargets(amr.DistributionMapping{Owner: owner}, topo, loads)
+	r.engine.ScaleLoads(topo, r.Cfg.NProcs, owner, loads)
+	m := amr.RemapToTargetsAvoiding(amr.DistributionMapping{Owner: owner}, topo, loads, avoid)
 	// Pad box-less top ranks with their round-robin placement so the map
 	// covers the full burst width Retarget validates against.
 	for rk := len(m); m != nil && rk < r.Cfg.NProcs; rk++ {
