@@ -7,6 +7,7 @@
 //	amrio-campaign [-quick] [-filter case4] [-outdir results/] [-parallel N]
 //	               [-topology] [-dist roundrobin,knapsack,sfc] [-remap]
 //	               [-storage gpfs,bb,bb+gpfs] [-bbcap bytes]
+//	               [-aggregation direct,2/node,1/node+sif+async]
 //	               [-faults plan.json | -faults '{"events":[...]}']
 //	               [-mitigate default | policy.json | '{"quarantine":true}']
 //
@@ -43,6 +44,17 @@
 // -dist a,b -storage x,y runs the full strategy × tier matrix (the
 // storage comparison groups per dist-sweep member; the dist table is
 // printed only for pure -dist sweeps).
+//
+// -aggregation expands every selected case into the two-phase
+// aggregation cross-product (iosim.AggregationSpec grammar:
+// "all" | "K/node", with "+sif" and "+async" options; the reserved word
+// "direct" is the no-aggregation baseline) and prints a per-base-case
+// AggregationReport comparing fan-in (ranks → writers), the
+// gather/open/write duration split, and the wall-time crossover across
+// layouts. The sweep composes with -dist and -storage (the aggregation
+// comparison groups per storage-sweep member; the storage table is
+// printed only for aggregation-free sweeps). Unknown specs are rejected
+// before any case runs.
 //
 // -faults installs a deterministic fault-injection plan (inline JSON or
 // a path to a JSON file; see internal/faults) on every selected case:
@@ -102,6 +114,8 @@ func run() error {
 		"comma-separated storage-tier stacks to sweep (gpfs,bb,bb+gpfs); expands every case")
 	bbcap := flag.Float64("bbcap", 0,
 		"per-node burst-buffer capacity in bytes for bb/bb+gpfs sweeps (0 = Summit's 1.6e12)")
+	aggregation := flag.String("aggregation", "",
+		"comma-separated aggregation specs to sweep (direct,all,K/node with +sif/+async options); expands every case")
 	faultsArg := flag.String("faults", "",
 		"fault-injection plan for every case: inline JSON or a path to a JSON file (see internal/faults)")
 	mitigateArg := flag.String("mitigate", "",
@@ -170,6 +184,15 @@ func run() error {
 		}
 		cases = campaign.SweepStorage(cases, storages...)
 	}
+	var aggVariants []campaign.AggregationVariant
+	aggBases := cases // aggregation grouping nests inside the storage sweep
+	if *aggregation != "" {
+		aggVariants, err = campaign.ParseAggregationVariants(*aggregation)
+		if err != nil {
+			return err
+		}
+		cases = campaign.SweepAggregation(cases, aggVariants...)
+	}
 	if *remap {
 		for i := range cases {
 			cases[i].Remap = true
@@ -196,7 +219,8 @@ func run() error {
 
 	// Ledgers are retained per case while its summary is computed, then
 	// freed; the sweeps keep only the compact summary rows.
-	keepLedgers := *topology || len(dists) > 0 || len(storages) > 0 || plan != nil || policy != nil
+	keepLedgers := *topology || len(dists) > 0 || len(storages) > 0 ||
+		len(aggVariants) > 0 || plan != nil || policy != nil
 	var mu sync.Mutex
 	ledgers := map[string]*iosim.FileSystem{}
 	results, err := campaign.RunAll(cases, *parallel, func(c campaign.Case) *iosim.FileSystem {
@@ -218,6 +242,7 @@ func run() error {
 	var linkReports []string
 	distSums := map[string]report.DistSummary{}
 	storageSums := map[string]report.StorageSummary{}
+	aggSums := map[string]report.AggregationSummary{}
 	var resilSums []report.ResilienceSummary
 	mitSums := map[string]report.MitigationSummary{}
 	for i, res := range results {
@@ -240,8 +265,14 @@ func run() error {
 			if len(dists) > 0 && len(storages) == 0 {
 				distSums[c.Name] = report.SummarizeDist(string(c.Dist), ledger)
 			}
-			if len(storages) > 0 {
+			// Like the dist table, the flat storage table only renders
+			// for aggregation-free sweeps: a composed -aggregation sweep
+			// renames the cases again.
+			if len(storages) > 0 && len(aggVariants) == 0 {
 				storageSums[c.Name] = report.SummarizeStorage(string(c.Storage), ledger)
+			}
+			if len(aggVariants) > 0 {
+				aggSums[c.Name] = report.SummarizeAggregation(c.Name, ledger)
 			}
 			if plan != nil {
 				resilSums = append(resilSums, report.ResilienceSummary{
@@ -290,10 +321,28 @@ func run() error {
 			}
 		}
 	}
+	// The aggregation comparison: one AggregationReport per (possibly
+	// dist/storage-expanded) base case, layouts side by side with fan-in
+	// and wall deltas against the first — the crossover table.
+	if len(aggVariants) > 0 {
+		for _, base := range aggBases {
+			var sums []report.AggregationSummary
+			for _, v := range aggVariants {
+				if s, ok := aggSums[campaign.SweepAggregationName(base.Name, v.Name)]; ok {
+					s.Name = v.Name
+					sums = append(sums, s)
+				}
+			}
+			if len(sums) > 0 {
+				fmt.Println()
+				fmt.Printf("%s aggregation comparison:\n%s", base.Name, report.AggregationReport(sums))
+			}
+		}
+	}
 	// The storage-tier comparison: one StorageReport per (possibly
 	// dist-expanded) base case, stacks side by side with wall deltas
 	// against the first.
-	if len(storages) > 0 {
+	if len(storages) > 0 && len(aggVariants) == 0 {
 		for _, base := range storageBases {
 			var sums []report.StorageSummary
 			for _, s := range storages {

@@ -12,7 +12,12 @@
 // the storage-tier stack ("gpfs" | "bb" | "bb+gpfs") — with the
 // burst-buffer stacks, --compute_time is the gap the asynchronous NVMe
 // drain overlaps, and -v's characterization reports per-tier bytes,
-// buffer fill, and stall stragglers. -faults installs a deterministic
+// buffer fill, and stall stragglers. -aggregation turns the N-to-N dump
+// into a two-phase collective (iosim spec grammar: "all" | "K/node",
+// with "+sif" and "+async" options): node peers gather onto aggregator
+// ranks, which are the only ranks that open files — -v's
+// characterization then shows the reduced fan-in and the gather/open
+// split. -faults installs a deterministic
 // fault-injection plan (inline JSON or a path; see internal/faults);
 // -v then also renders the run's resilience summary. -mitigate enables
 // the closed-loop resilience engine ("default"/"on", inline policy JSON,
@@ -45,7 +50,7 @@ func main() {
 
 func run() error {
 	// Split our own flags (before "--") from MACSio flags.
-	var outdir, storage, faultsArg, mitigateArg string
+	var outdir, storage, aggregation, faultsArg, mitigateArg string
 	var verbose bool
 	var nodes, targets int
 	fl := flag.NewFlagSet("macsio", flag.ContinueOnError)
@@ -64,6 +69,11 @@ func run() error {
 		case "-storage", "--storage":
 			if i+1 < len(args) {
 				storage = args[i+1]
+				i++
+			}
+		case "-aggregation", "--aggregation":
+			if i+1 < len(args) {
+				aggregation = args[i+1]
 				i++
 			}
 		case "-faults", "--faults":
@@ -140,6 +150,16 @@ func run() error {
 			bbNodes = 1
 		}
 		fsCfg.BurstBuffer = iosim.DefaultBurstBuffer(bbNodes)
+	}
+	// -aggregation prices the dumps as a two-phase collective; unknown
+	// specs and degenerate aggregator counts are rejected here, before
+	// any dump runs.
+	if aggregation != "" {
+		spec, err := iosim.ParseAggregation(aggregation)
+		if err != nil {
+			return err
+		}
+		fsCfg.Aggregation = spec
 	}
 	// -faults schedules deterministic fault injection against simulated
 	// time; malformed plans and unknown fault kinds are rejected here,

@@ -1,0 +1,90 @@
+package campaign
+
+import (
+	"fmt"
+	"strings"
+
+	"amrproxyio/internal/iosim"
+)
+
+// Two-phase aggregation experiments: a Case carries an
+// iosim.AggregationSpec (JSON round-tripped like the engine, dist,
+// storage, and fault plan), SweepAggregation expands a case list into
+// the aggregator-layout cross-product, and report.AggregationReport
+// renders the fan-in/crossover comparison. The sweep composes with
+// SweepDist, SweepStorage, and SweepFaults the same way those compose
+// with each other.
+
+// AggregationVariant names one member of an aggregation sweep.
+type AggregationVariant struct {
+	// Name suffixes the sweep member ("<case>_<name>").
+	Name string
+	// Spec is the two-phase layout the member writes under; nil is the
+	// direct (every rank writes) pattern.
+	Spec *iosim.AggregationSpec
+}
+
+// DefaultAggregationVariants spans the fan-in ladder the crossover study
+// sweeps: the direct pattern, two aggregators per node, and the fully
+// collapsed one-writer-per-node layout.
+func DefaultAggregationVariants() []AggregationVariant {
+	return []AggregationVariant{
+		{Name: "direct", Spec: nil},
+		{Name: "2per-node", Spec: &iosim.AggregationSpec{Aggregators: "2/node"}},
+		{Name: "1per-node", Spec: &iosim.AggregationSpec{Aggregators: "1/node"}},
+	}
+}
+
+// SweepAggregation expands cases into the aggregation cross-product:
+// every case times every variant, named "<case>_<variant>". No explicit
+// variants means DefaultAggregationVariants. Like the other sweeps, the
+// expansion preserves case order — variants vary fastest — so
+// SweepAggregation(SweepStorage(cases)) walks every (tier, layout) pair
+// grouped per base case.
+func SweepAggregation(cases []Case, variants ...AggregationVariant) []Case {
+	if len(variants) == 0 {
+		variants = DefaultAggregationVariants()
+	}
+	out := make([]Case, 0, len(cases)*len(variants))
+	for _, c := range cases {
+		for _, v := range variants {
+			m := c
+			m.Aggregation = v.Spec
+			m.Name = SweepAggregationName(c.Name, v.Name)
+			out = append(out, m)
+		}
+	}
+	return out
+}
+
+// SweepAggregationName is the name SweepAggregation gives the (base
+// case, variant) member of a sweep, mirroring SweepName,
+// SweepStorageName, and SweepFaultsName.
+func SweepAggregationName(base, variant string) string {
+	if variant == "" {
+		variant = "direct"
+	}
+	return fmt.Sprintf("%s_%s", base, variant)
+}
+
+// ParseAggregationVariants parses a comma-separated CLI list of
+// aggregation specs ("all,2/node,1/node+sif") into sweep variants, each
+// named by the spec's filename-safe token. The reserved word "direct"
+// (and the empty element) names the no-aggregation baseline, so a sweep
+// can carry its own control.
+func ParseAggregationVariants(list string) ([]AggregationVariant, error) {
+	var out []AggregationVariant
+	for _, item := range strings.Split(list, ",") {
+		item = strings.TrimSpace(item)
+		if item == "" || item == "direct" {
+			out = append(out, AggregationVariant{Name: "direct"})
+			continue
+		}
+		spec, err := iosim.ParseAggregation(item)
+		if err != nil {
+			return nil, fmt.Errorf("campaign: %w", err)
+		}
+		out = append(out, AggregationVariant{Name: spec.Token(), Spec: &spec})
+	}
+	return out, nil
+}

@@ -80,6 +80,13 @@ type Case struct {
 	// nil (and the zero policy) keeps every path byte-identical; invalid
 	// policies are rejected by Validate.
 	Mitigate *resilience.Policy `json:"mitigate,omitempty"`
+	// Aggregation selects the two-phase collective output layout
+	// (iosim.AggregationSpec): aggregators gather their node peers' data
+	// and are the only ranks that open files on the storage tiers. nil
+	// keeps the direct every-rank-writes pattern byte-identical; the
+	// spec takes effect through FSConfig, like Storage and Faults, and
+	// invalid specs are rejected by Validate.
+	Aggregation *iosim.AggregationSpec `json:"aggregation,omitempty"`
 }
 
 // Validate consolidates the case-level name checks — unknown engine,
@@ -106,6 +113,11 @@ func (c Case) Validate() error {
 	}
 	if err := c.Mitigate.Validate(); err != nil {
 		return fmt.Errorf("campaign %s: %w", c.Name, err)
+	}
+	if c.Aggregation != nil {
+		if err := c.Aggregation.Validate(); err != nil {
+			return fmt.Errorf("campaign %s: %w", c.Name, err)
+		}
 	}
 	return nil
 }
@@ -156,6 +168,9 @@ func (c Case) FSConfig(withTopology bool) iosim.Config {
 	cfg.Storage = string(c.Storage)
 	if c.Storage == StorageBB || c.Storage == StorageTiered {
 		cfg.BurstBuffer = iosim.DefaultBurstBuffer(maxi(1, c.Nodes))
+	}
+	if c.Aggregation != nil {
+		cfg.Aggregation = *c.Aggregation
 	}
 	// The nil guard matters: storing a typed-nil *faults.Injector into
 	// the interface field would defeat iosim's `cfg.Faults == nil` fast

@@ -64,6 +64,14 @@ type Characterization struct {
 	StallSeconds float64 // sum over bursts of the max-rank stall time
 	DrainSeconds float64 // sum over bursts of the post-burst drain tails
 
+	// Aggregation decomposition, populated only when the ledger carries
+	// two-phase gather records (Config.Aggregation with a non-identity
+	// spec); GatherSeconds zero — and the line absent from Render —
+	// under the direct pattern.
+	Writers       int     // distinct ranks paying a file open (fan-in after aggregation)
+	GatherSeconds float64 // intra-node gather time summed over data records
+	OpenSeconds   float64 // open/metadata time summed over data records
+
 	// Fault decomposition, populated only when the ledger carries
 	// injected-fault labels (an installed FaultInjector); all zero — and
 	// absent from Render — under fault-free runs.
@@ -80,6 +88,7 @@ func Characterize(records []WriteRecord) Characterization {
 	}
 	files := map[string]bool{}
 	ranks := map[int]int64{}
+	writers := map[int]bool{}
 	nodes := map[int]int64{}
 	targets := map[int]int64{}
 	links := map[burstLink]int64{}
@@ -99,6 +108,11 @@ func Characterize(records []WriteRecord) Characterization {
 		c.TotalWrites++
 		files[r.Path] = true
 		ranks[r.Rank] += r.Bytes
+		if r.OpenSeconds > 0 {
+			writers[r.Rank] = true
+		}
+		c.GatherSeconds += r.GatherSeconds
+		c.OpenSeconds += r.OpenSeconds
 		if r.Node >= 0 {
 			nodes[r.Node] += r.Bytes
 			if r.Target >= 0 {
@@ -117,6 +131,7 @@ func Characterize(records []WriteRecord) Characterization {
 	}
 	c.UniqueFiles = len(files)
 	c.Ranks = len(ranks)
+	c.Writers = len(writers)
 	c.NodesUsed = len(nodes)
 	c.TargetsUsed = len(targets)
 	c.LinksUsed = len(links)
@@ -245,6 +260,10 @@ func (c Characterization) Render() string {
 		fmt.Fprintf(&sb, "  storage tiers    : bb %d B, gpfs spill %d B\n", c.BBBytes, c.SpillBytes)
 		fmt.Fprintf(&sb, "  burst buffer     : peak fill %.3f, %d stall stragglers, stall %.4gs, drain tail %.4gs\n",
 			c.MaxBBFill, c.StallRanks, c.StallSeconds, c.DrainSeconds)
+	}
+	if c.GatherSeconds > 0 {
+		fmt.Fprintf(&sb, "  aggregation      : fan-in %d ranks -> %d writers, gather %.4gs, open %.4gs\n",
+			c.Ranks, c.Writers, c.GatherSeconds, c.OpenSeconds)
 	}
 	if c.FaultWrites > 0 {
 		fmt.Fprintf(&sb, "  faults           : %d writes touched, %d retries, fault time %.4gs\n",

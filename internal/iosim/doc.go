@@ -94,4 +94,38 @@
 // The default "" / "gpfs" stack is property-test-pinned byte-identical
 // (durations, ledger, BurstStats, Characterize, Render) to the
 // pre-StorageModel FileSystem, with and without a Topology.
+//
+// # Open latency contract
+//
+// Config.OpenLatency is the default per-file open/metadata cost. A
+// StorageModel may override it per write by returning a non-zero
+// WriteCost.OpenSeconds (the burst-buffer tiers charge their own
+// BurstBuffer.OpenLatency — NVMe metadata is cheaper than a GPFS
+// metadata-server round trip); OpenSeconds == 0 means "use the config
+// default", so models that predate the field keep their historical
+// pricing. The open cost lands in WriteRecord.OpenSeconds, which is
+// what lets the aggregation layer scale it and the report layer split
+// it out of the duration.
+//
+// # Two-phase aggregation
+//
+// Config.Aggregation (an AggregationSpec: "all" or "K/node" aggregators,
+// MIF or SIF layout, optional async staging) turns each burst into a
+// two-phase collective. Ranks are packed node-by-node; each node block's
+// first K ranks are aggregators. Member ranks ship their payload to
+// their aggregator over the node-internal gather plane (GatherBandwidth
+// split across the node's senders, snapshotted at BeginBurst) and pay no
+// file open; aggregator ranks pay a layout-scaled open (MIF: A/n of the
+// direct open storm; SIF: lock-serialized (1+2(A-1))/n) and write
+// through the installed StorageModel stack. The async option stages the
+// gathered payload through a per-aggregator fluid buffer
+// (StagingCapacity, Tier "stage") that drains at the write rate and
+// stalls to the backing tier when full — the same fill/drain machinery
+// as the burst-buffer models. The aggregation plan is a pure function of
+// (Topology, spec, writer count), so aggregated ledgers obey the same
+// determinism guarantee; the "all" spec is the identity and is pinned
+// byte-identical to the direct path across all storage stacks. The
+// gather phase is priced here, not routed through mpisim collectives —
+// it is a timing model, and keeping it out of the message schedule
+// preserves the SPMD ledger pins.
 package iosim

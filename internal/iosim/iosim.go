@@ -50,6 +50,12 @@ type Config struct {
 	// BurstBuffer parameterizes the "bb"/"bb+gpfs" tiers; the zero value
 	// selects the Summit NVMe defaults (DefaultBurstBuffer).
 	BurstBuffer BurstBuffer
+	// Aggregation turns bursts into two-phase collectives (intra-node
+	// gather, then aggregator-only writes; see aggregation.go). The zero
+	// value keeps the direct N-to-N write path byte-identical to
+	// historical behavior. Invalid enabled specs panic in New; validate
+	// with AggregationSpec.Validate first (the campaign and CLI layers do).
+	Aggregation AggregationSpec
 	// Faults installs the deterministic fault-injection seam (fault.go):
 	// the injector prices writes on behalf of the storage model, charging
 	// retry/replay time and relabeling failover targets. nil — the zero
@@ -127,6 +133,17 @@ type WriteRecord struct {
 	// storm and failed over immediately). Empty without a policy engine,
 	// keeping fault-only and fault-free ledgers byte-identical.
 	Mitigated string
+	// GatherSeconds is the portion of Duration spent in the intra-node
+	// gather phase under two-phase aggregation: the time this rank's
+	// bytes took to reach its aggregator. 0 for aggregator ranks and
+	// whenever aggregation is disabled.
+	GatherSeconds float64
+	// OpenSeconds is the portion of Duration spent on file-open/metadata
+	// cost (the per-tier open latency scaled by the aggregation layout's
+	// metadata model). Under aggregation only aggregator ranks open
+	// files, so member records carry 0. Directory records carry their
+	// whole Duration here.
+	OpenSeconds float64
 }
 
 // shard is one rank's private slice of the filesystem state. Its mutex is
@@ -167,6 +184,13 @@ type FileSystem struct {
 	// inter-burst reorganization can be undone with Retarget(nil).
 	retarget atomic.Pointer[[]int]
 
+	// agg is the current burst's two-phase aggregation schedule
+	// (aggregation.go); nil when Config.Aggregation is disabled. A pure
+	// function of (topology, spec, writer count), rebuilt lazily at
+	// BeginBurst and invalidated by Retarget/Reset, whose placement
+	// changes move the aggregators' targets.
+	agg atomic.Pointer[aggPlan]
+
 	// shards[rank] is rank's ledger segment. The slice only grows;
 	// growth happens under growMu with copy-on-write publication so the
 	// hot path is a single atomic pointer load.
@@ -180,6 +204,11 @@ type FileSystem struct {
 // cfg.Storage name; validate user input with ParseStorage (the campaign
 // and CLI layers do) so misconfigurations surface as errors instead.
 func New(cfg Config, root string) *FileSystem {
+	if cfg.Aggregation.Enabled() {
+		if err := cfg.Aggregation.Validate(); err != nil {
+			panic(fmt.Sprintf("iosim: invalid aggregation spec (validate configs with AggregationSpec.Validate): %v", err))
+		}
+	}
 	fs := &FileSystem{cfg: cfg, root: root}
 	empty := []*shard{}
 	fs.shards.Store(&empty)
@@ -233,6 +262,7 @@ func (fs *FileSystem) Retarget(m []int) error {
 	}
 	if m == nil {
 		fs.retarget.Store(nil)
+		fs.agg.Store(nil)   // member target labels follow the aggregator's placement
 		fs.model.Retarget() // next BeginBurst rebuilds the per-link snapshot
 		return nil
 	}
@@ -248,8 +278,21 @@ func (fs *FileSystem) Retarget(m []int) error {
 	cp := make([]int, len(m))
 	copy(cp, m)
 	fs.retarget.Store(&cp)
+	fs.agg.Store(nil)
 	fs.model.Retarget()
 	return nil
+}
+
+// aggPlanFor returns the two-phase schedule for an n-writer burst,
+// rebuilding it when the writer count or placement changed. Only called
+// with Config.Aggregation enabled.
+func (fs *FileSystem) aggPlanFor(n int) *aggPlan {
+	if p := fs.agg.Load(); p != nil && p.n == n {
+		return p
+	}
+	p := fs.cfg.Aggregation.plan(fs.topology(), n)
+	fs.agg.Store(p)
+	return p
 }
 
 // Root returns the host root directory.
@@ -267,6 +310,12 @@ func (fs *FileSystem) Config() Config { return fs.cfg }
 // lock. The plotfile and MACSio writers call this once per dump with the
 // number of ranks that will write. EndBurst resets to uncontended mode.
 func (fs *FileSystem) BeginBurst(n int) {
+	if fs.cfg.Aggregation.Enabled() && n > 0 {
+		// Publish the two-phase schedule before the model snapshots:
+		// the aggregation-aware stack reads it to take its contention
+		// snapshot over the aggregator set.
+		fs.aggPlanFor(n)
+	}
 	fs.model.BeginBurst(n)
 	if inj := fs.cfg.Faults; inj != nil {
 		inj.BeginBurst(n)
@@ -398,16 +447,33 @@ func (fs *FileSystem) write(rank int, path string, nbytes int64, data []byte, la
 	}
 
 	node, target := fs.linkOf(rank)
+	// Two-phase aggregation: members first gather their share to the
+	// aggregator (phase one), their bytes then fan into the aggregator's
+	// storage target, and only aggregators pay (scaled) open latency.
+	// Without a plan every factor is the identity, keeping the direct
+	// path byte-identical.
+	gather, openScale := 0.0, 1.0
+	if p := fs.agg.Load(); p != nil && rank < p.n {
+		gather, openScale = p.gather(rank, nbytes), p.openScale[rank]
+		if t := p.tgt[rank]; t >= 0 {
+			target = t
+		}
+	}
 	s := fs.shardFor(rank)
 	s.mu.Lock()
 	start := s.clock
 	// Price under the shard lock: the model may keep per-rank state
 	// (burst-buffer occupancy) keyed on rank's clock, and the lock
 	// serializes exactly this rank's transfers. The fault seam wraps the
-	// model call and may relabel the target on failover.
-	cost := fs.price(s, rank, start, nbytes, node, &target)
+	// model call and may relabel the target on failover; the write phase
+	// begins after the gather, so the fault schedule sees start+gather.
+	cost := fs.price(s, rank, start+gather, nbytes, node, &target)
 	j := fs.jitter(rank, path)
-	dur := (fs.cfg.OpenLatency + cost.Seconds) * j
+	open := cost.OpenSeconds
+	if open <= 0 {
+		open = fs.cfg.OpenLatency // models that don't price opens inherit the config's
+	}
+	dur := (open*openScale + gather + cost.Seconds) * j
 	s.clock = start + dur
 	s.records = append(s.records, WriteRecord{
 		Rank: rank, Path: path, Bytes: nbytes,
@@ -416,8 +482,10 @@ func (fs *FileSystem) write(rank int, path string, nbytes int64, data []byte, la
 		Tier: cost.Tier, StallSeconds: cost.StallSeconds * j,
 		DrainSeconds: cost.DrainSeconds, BBFill: cost.BBFill,
 		Fault: cost.Fault, Retries: cost.Retries,
-		FaultSeconds: cost.FaultSeconds * j,
-		Mitigated:    cost.Mitigated,
+		FaultSeconds:  cost.FaultSeconds * j,
+		Mitigated:     cost.Mitigated,
+		GatherSeconds: gather * j,
+		OpenSeconds:   open * openScale * j,
 	})
 	s.bytes += nbytes
 	s.mu.Unlock()
@@ -446,6 +514,7 @@ func (fs *FileSystem) Mkdir(rank int, path string, labels Labels) error {
 		Start: start, Duration: fs.cfg.OpenLatency,
 		Labels: labels, Dir: true,
 		Node: node, Target: -1,
+		OpenSeconds: fs.cfg.OpenLatency,
 	})
 	s.mu.Unlock()
 	return nil
@@ -509,6 +578,7 @@ func (fs *FileSystem) Reset() {
 		inj.Reset()
 	}
 	fs.retarget.Store(nil)
+	fs.agg.Store(nil)
 	fs.burstN.Store(0)
 	fs.rpn.Store(int64(fs.cfg.Topology.ranksPerNode(0)))
 }

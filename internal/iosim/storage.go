@@ -103,6 +103,12 @@ type BurstBuffer struct {
 	// RanksPerNode fixes the packing; 0 derives ceil(writers/Nodes) at
 	// each BeginBurst, mirroring Topology.RanksPerNode.
 	RanksPerNode int
+	// OpenLatency is the per-file open/metadata cost in seconds for
+	// writes the buffer absorbs (TierBB) — an NVMe open is much cheaper
+	// than a GPFS create storm. 0 inherits Config.OpenLatency (the GPFS
+	// tier's cost), keeping historical ledgers byte-identical; writes
+	// that stall through to the backing tier always pay the GPFS open.
+	OpenLatency float64
 }
 
 // DefaultBurstBuffer returns the Summit-flavored burst buffer for a node
@@ -149,6 +155,12 @@ type WriteCost struct {
 	// BBFill is the writer's partition occupancy fraction (0..1) right
 	// after the write.
 	BBFill float64
+	// OpenSeconds is the tier's per-file open/metadata cost. 0 — the
+	// zero value every pre-existing model returns — makes the
+	// FileSystem fall back to Config.OpenLatency, so only models that
+	// price opens per tier (BurstBuffer.OpenLatency) need to set it.
+	// The aggregation layout scales it on the ledger record.
+	OpenSeconds float64
 
 	// Fault annotations set by an installed FaultInjector (fault.go);
 	// all zero on the fault-free path so historical ledgers are
@@ -198,10 +210,20 @@ type StorageModel interface {
 // campaign.Case.Validate), so reaching here is a programming error.
 func newStorageModel(cfg Config, fs *FileSystem) StorageModel {
 	gpfs := func() StorageModel {
+		var m StorageModel
 		if cfg.Topology.Enabled() {
-			return newTopologyModel(cfg, fs)
+			m = newTopologyModel(cfg, fs)
+		} else {
+			m = newAggregateModel(cfg)
 		}
-		return newAggregateModel(cfg)
+		if cfg.Aggregation.Enabled() {
+			// Two-phase aggregation re-takes the GPFS contention
+			// snapshot over the aggregator set (aggregation.go). The
+			// burst-buffer stacks wrap this as their backing tier, so
+			// tiered drains see aggregator-set contention too.
+			m = newAggModel(cfg, fs, m)
+		}
+		return m
 	}
 	switch cfg.Storage {
 	case StorageDefault, StorageGPFS:
@@ -442,6 +464,11 @@ func (m *bbModel) Price(rank int, start float64, nbytes int64) WriteCost {
 	cost := WriteCost{Seconds: sec, Tier: TierBB, StallSeconds: stall}
 	if stall > 0 {
 		cost.Tier = TierGPFS
+	} else if m.spec.OpenLatency > 0 {
+		// Fully buffer-absorbed writes open against the NVMe tier;
+		// stalled writes went through to GPFS and pay its open (the
+		// zero value, resolved by the FileSystem).
+		cost.OpenSeconds = m.spec.OpenLatency
 	}
 	if d > 0 {
 		cost.DrainSeconds = end / d

@@ -83,11 +83,16 @@ func TestTopologyUnsetByteIdenticalToAggregate(t *testing.T) {
 				t.Fatalf("op %d: duration %g != aggregate reference %g", i, dur, want)
 			}
 		}
+		open := cfg.OpenLatency // Mkdir charges the open unjittered
+		if !o.dir {
+			open = cfg.OpenLatency * fs.jitter(o.rank, o.path)
+		}
 		expected = append(expected, WriteRecord{
 			Rank: o.rank, Path: o.path, Bytes: o.bytes,
 			Start: clocks[o.rank], Duration: dur,
 			Labels: Labels{Step: i % 5}, Dir: o.dir,
 			Node: -1, Target: -1,
+			OpenSeconds: open,
 		})
 		clocks[o.rank] += dur
 	}

@@ -34,5 +34,9 @@
 // ghost fills. For topology-aware contention modeling, the amr package
 // derives per-rank-pair volumes from its cached communication plans
 // (amr.FillBoundaryTraffic) and prices them with iosim.Topology — the
-// same model the write ledger uses.
+// same model the write ledger uses. The same division of labor holds
+// for two-phase I/O aggregation: the intra-node gather is priced inside
+// iosim's burst model (iosim.AggregationSpec), not routed through
+// mpisim.Gather, so enabling it never perturbs an SPMD program's
+// message schedule or the ledger pins that depend on it.
 package mpisim

@@ -1,0 +1,61 @@
+package sim
+
+import (
+	"testing"
+
+	"amrproxyio/internal/amr"
+	"amrproxyio/internal/grid"
+	"amrproxyio/internal/iosim"
+)
+
+// TestRemapFoldsLoadsOntoAggregators mirrors the surrogate-engine
+// regression pin on the hydro engine's remapTargets: with 1/node
+// aggregation the per-rank loads [10 10 1 1] must fold onto the
+// aggregator ranks ([20 0 2 0]) before LPT balancing — unfolded, LPT
+// ties round-robin, declines, and both aggregators co-locate on target 0.
+func TestRemapFoldsLoadsOntoAggregators(t *testing.T) {
+	topo := iosim.Topology{Nodes: 2, RanksPerNode: 2, Targets: 2}
+	boxes := []grid.Box{
+		{Lo: grid.IntVect{X: 0, Y: 0}, Hi: grid.IntVect{X: 9, Y: 0}},
+		{Lo: grid.IntVect{X: 0, Y: 1}, Hi: grid.IntVect{X: 9, Y: 1}},
+		{Lo: grid.IntVect{X: 0, Y: 2}, Hi: grid.IntVect{X: 0, Y: 2}},
+		{Lo: grid.IntVect{X: 1, Y: 2}, Hi: grid.IntVect{X: 1, Y: 2}},
+	}
+	owner := []int{0, 1, 2, 3}
+
+	fscfg := iosim.DefaultConfig()
+	fscfg.JitterSigma = 0
+	fscfg.Topology = topo
+	fscfg.Aggregation = iosim.AggregationSpec{Aggregators: "1/node"}
+	fs := iosim.New(fscfg, "")
+
+	c := smallCfg()
+	c.MaxLevel = 0
+	c.NProcs = 4
+	opts := DefaultOptions()
+	opts.Remap = true
+	s, err := New(c, opts, fs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Levels = []*Level{{BA: amr.BoxArray{Boxes: boxes}, DM: amr.DistributionMapping{Owner: owner}}}
+	if err := s.remapTargets(); err != nil {
+		t.Fatal(err)
+	}
+
+	fs.BeginBurst(4)
+	for rank := 0; rank < 4; rank++ {
+		if _, err := fs.WriteSize(rank, "plt/Cell_D", 10, iosim.Labels{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fs.EndBurst()
+
+	want := []int{0, 0, 1, 1}
+	for i, rec := range fs.Ledger() {
+		if rec.Target != want[i] {
+			t.Fatalf("rank %d wrote to target %d, want %d (folded remap must separate the aggregators)",
+				rec.Rank, rec.Target, want[i])
+		}
+	}
+}

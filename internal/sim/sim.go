@@ -426,6 +426,17 @@ func (s *Sim) remapTargets() error {
 	}
 	topo := s.fs.Config().Topology
 	s.engine.ScaleLoads(topo, s.Cfg.NProcs, owner, loads)
+	// With two-phase aggregation active only aggregator ranks open files:
+	// fold each owner onto its aggregator before balancing, else the
+	// remap spreads fan-in across member ranks that never write and
+	// double-counts their load against the aggregator's target.
+	if am := s.fs.Config().Aggregation.AggregatorMap(topo, s.Cfg.NProcs); am != nil {
+		for i, o := range owner {
+			if o >= 0 && o < len(am) {
+				owner[i] = am[o]
+			}
+		}
+	}
 	m := amr.RemapToTargetsAvoiding(amr.DistributionMapping{Owner: owner}, topo, loads, avoid)
 	// The remap covers ranks up to the highest box owner; Retarget
 	// validates full burst coverage, so pad box-less top ranks with

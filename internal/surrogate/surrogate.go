@@ -370,6 +370,17 @@ func (r *Runner) remapTargets() error {
 	}
 	topo := r.fs.Config().Topology
 	r.engine.ScaleLoads(topo, r.Cfg.NProcs, owner, loads)
+	// With two-phase aggregation active only aggregator ranks open files:
+	// fold each owner onto its aggregator before balancing, else the
+	// remap spreads fan-in across member ranks that never write and
+	// double-counts their load against the aggregator's target.
+	if am := r.fs.Config().Aggregation.AggregatorMap(topo, r.Cfg.NProcs); am != nil {
+		for i, o := range owner {
+			if o >= 0 && o < len(am) {
+				owner[i] = am[o]
+			}
+		}
+	}
 	m := amr.RemapToTargetsAvoiding(amr.DistributionMapping{Owner: owner}, topo, loads, avoid)
 	// Pad box-less top ranks with their round-robin placement so the map
 	// covers the full burst width Retarget validates against.
