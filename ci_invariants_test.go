@@ -1,0 +1,85 @@
+// CI-shape invariants: the workflow file is code the compiler never
+// sees, so these tests pin the properties the analyzer-suite PR
+// established — the race gate covers the whole module (no enumerated
+// package list to rot), the amrio-vet gate exists and runs through the
+// real vet protocol, and the third-party gates stay version-pinned.
+package amrproxyio_test
+
+import (
+	"os"
+	"regexp"
+	"strings"
+	"testing"
+)
+
+func readCI(t *testing.T) string {
+	t.Helper()
+	data, err := os.ReadFile(".github/workflows/ci.yml")
+	if err != nil {
+		t.Fatalf("reading CI workflow: %v", err)
+	}
+	return string(data)
+}
+
+// TestRaceGateCoversWholeModule: the -race invocation must be ./...;
+// an enumerated package list silently loses every new package.
+func TestRaceGateCoversWholeModule(t *testing.T) {
+	ci := readCI(t)
+	re := regexp.MustCompile(`(?m)^\s*run:\s*(go test -race .*)$`)
+	matches := re.FindAllStringSubmatch(ci, -1)
+	if len(matches) == 0 {
+		t.Fatal("CI has no `go test -race` gate")
+	}
+	for _, m := range matches {
+		cmd := strings.TrimSpace(m[1])
+		if cmd != "go test -race ./..." {
+			t.Errorf("race gate is %q; it must be exactly `go test -race ./...` so new packages cannot drift out of race coverage", cmd)
+		}
+	}
+}
+
+// TestAmrioVetGatePresent: the analyzer suite must run as a blocking
+// vet-protocol gate over the whole tree.
+func TestAmrioVetGatePresent(t *testing.T) {
+	ci := readCI(t)
+	if !strings.Contains(ci, "go build -o /tmp/amrio-vet ./cmd/amrio-vet") {
+		t.Error("CI does not build cmd/amrio-vet")
+	}
+	if !strings.Contains(ci, "go vet -vettool=/tmp/amrio-vet ./...") {
+		t.Error("CI does not run the amrio-vet suite via `go vet -vettool` over ./...")
+	}
+}
+
+// TestThirdPartyGatesArePinned: staticcheck and govulncheck must be
+// installed at explicit versions, never @latest.
+func TestThirdPartyGatesArePinned(t *testing.T) {
+	ci := readCI(t)
+	for _, tool := range []string{
+		"honnef.co/go/tools/cmd/staticcheck",
+		"golang.org/x/vuln/cmd/govulncheck",
+	} {
+		re := regexp.MustCompile(regexp.QuoteMeta(tool) + `@(\S+)`)
+		m := re.FindStringSubmatch(ci)
+		if m == nil {
+			t.Errorf("CI does not install %s", tool)
+			continue
+		}
+		if m[1] == "latest" || m[1] == "master" {
+			t.Errorf("%s is installed @%s; pin an explicit version", tool, m[1])
+		}
+	}
+}
+
+// TestFuzzSmokePresent: each fuzz target gets a short CI budget.
+func TestFuzzSmokePresent(t *testing.T) {
+	ci := readCI(t)
+	for _, want := range []string{
+		"-fuzz=FuzzParse -fuzztime=20s -run '^$' ./internal/faults/",
+		"-fuzz=FuzzParse -fuzztime=20s -run '^$' ./internal/resilience/",
+		"-fuzz=FuzzParseAggregation -fuzztime=20s -run '^$' ./internal/iosim/",
+	} {
+		if !strings.Contains(ci, want) {
+			t.Errorf("CI fuzz smoke missing %q", want)
+		}
+	}
+}

@@ -1,0 +1,18 @@
+// Command amrio-vet runs the repository's invariant analyzer suite
+// (see internal/analysis). It is built for `go vet -vettool=` but also
+// runs standalone:
+//
+//	go build -o /tmp/amrio-vet ./cmd/amrio-vet
+//	go vet -vettool=/tmp/amrio-vet ./...   # vet-driven (CI gate)
+//	/tmp/amrio-vet ./...                   # standalone
+package main
+
+import (
+	"os"
+
+	"amrproxyio/internal/analysis/vet"
+)
+
+func main() {
+	os.Exit(vet.Main(os.Args[1:], os.Stdout, os.Stderr))
+}

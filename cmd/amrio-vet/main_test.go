@@ -1,0 +1,78 @@
+package main_test
+
+import (
+	"bytes"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const badFixture = "./internal/analysis/vet/testdata/src/bad"
+
+// buildTool compiles the amrio-vet binary into t.TempDir and returns
+// its path plus the repo root (the module directory two levels up).
+func buildTool(t *testing.T) (tool, root string) {
+	t.Helper()
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	tool = filepath.Join(t.TempDir(), "amrio-vet")
+	cmd := exec.Command("go", "build", "-o", tool, "./cmd/amrio-vet")
+	cmd.Dir = root
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go build ./cmd/amrio-vet: %v\n%s", err, out)
+	}
+	return tool, root
+}
+
+// TestBinarySmoke: the built binary completes the vet handshake and
+// exits non-zero on the known-bad fixture.
+func TestBinarySmoke(t *testing.T) {
+	tool, root := buildTool(t)
+
+	out, err := exec.Command(tool, "-V=full").Output()
+	if err != nil {
+		t.Fatalf("amrio-vet -V=full: %v", err)
+	}
+	if !strings.HasPrefix(string(out), "amrio-vet version") {
+		t.Errorf("-V=full printed %q", out)
+	}
+
+	cmd := exec.Command(tool, badFixture)
+	cmd.Dir = root
+	var stdout bytes.Buffer
+	cmd.Stdout = &stdout
+	err = cmd.Run()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != 2 {
+		t.Fatalf("amrio-vet %s: err=%v, want exit code 2\n%s", badFixture, err, stdout.String())
+	}
+	if !strings.Contains(stdout.String(), "time.Now") || !strings.Contains(stdout.String(), "BoxArray") {
+		t.Errorf("expected both seeded diagnostics, got:\n%s", stdout.String())
+	}
+}
+
+// TestVetToolProtocol drives the binary through the real go vet
+// -vettool pipeline, the exact shape the CI gate uses.
+func TestVetToolProtocol(t *testing.T) {
+	tool, root := buildTool(t)
+
+	cmd := exec.Command("go", "vet", "-vettool="+tool, badFixture)
+	cmd.Dir = root
+	out, err := cmd.CombinedOutput()
+	if err == nil {
+		t.Fatalf("go vet -vettool on bad fixture succeeded; want failure\n%s", out)
+	}
+	if !strings.Contains(string(out), "time.Now") || !strings.Contains(string(out), "BoxArray") {
+		t.Errorf("go vet output missing seeded diagnostics:\n%s", out)
+	}
+
+	// And a clean package passes through the same pipeline.
+	cmd = exec.Command("go", "vet", "-vettool="+tool, "./internal/grid")
+	cmd.Dir = root
+	if out, err := cmd.CombinedOutput(); err != nil {
+		t.Fatalf("go vet -vettool on clean package failed: %v\n%s", err, out)
+	}
+}

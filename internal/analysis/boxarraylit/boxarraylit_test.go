@@ -1,0 +1,15 @@
+package boxarraylit_test
+
+import (
+	"testing"
+
+	"amrproxyio/internal/analysis/analysistest"
+	"amrproxyio/internal/analysis/boxarraylit"
+)
+
+func TestFlaggedAndAllowedCases(t *testing.T) {
+	diags := analysistest.Run(t, boxarraylit.Analyzer, "testdata/src/flagged")
+	if len(diags) != 3 {
+		t.Fatalf("got %d diagnostics, want 3", len(diags))
+	}
+}

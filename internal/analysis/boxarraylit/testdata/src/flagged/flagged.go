@@ -1,0 +1,41 @@
+// Package flagged seeds boxarraylit violations using the real
+// amr.BoxArray type, so the analyzer's type matching is tested against
+// the genuine article rather than a look-alike.
+package flagged
+
+import (
+	"amrproxyio/internal/amr"
+	"amrproxyio/internal/grid"
+)
+
+// Direct composite literal: no shared holder, O(N²) Index() calls.
+func Direct(boxes []grid.Box) amr.BoxArray {
+	return amr.BoxArray{Boxes: boxes} // want `BoxArray composite literal bypasses NewBoxArray`
+}
+
+// Elided element literals inside a slice literal are just as bad — this
+// is the exact shape PR 8's surrogate test shipped.
+func InSlice(boxes []grid.Box) []amr.BoxArray {
+	return []amr.BoxArray{{Boxes: boxes}} // want `BoxArray composite literal bypasses NewBoxArray`
+}
+
+// Empty literal: still a holderless value.
+func Empty() amr.BoxArray {
+	return amr.BoxArray{} // want `BoxArray composite literal bypasses NewBoxArray`
+}
+
+// Constructor path: allowed.
+func ViaConstructor(boxes []grid.Box) amr.BoxArray {
+	return amr.NewBoxArray(boxes)
+}
+
+// A slice literal of constructed values is fine — only the struct
+// literal itself is the violation.
+func SliceOfConstructed(a amr.BoxArray) []amr.BoxArray {
+	return []amr.BoxArray{a}
+}
+
+// Other composite literals stay legal.
+func OtherLiterals() []grid.Box {
+	return []grid.Box{grid.NewBox(grid.IV(0, 0), grid.IV(7, 7))}
+}

@@ -1,0 +1,236 @@
+// Package jsonstrict enforces the config-decoding contract faults.Parse
+// established: JSON that configures a simulation (fault plans, mitigation
+// policies, aggregation specs, campaign cases) must be decoded with
+// DisallowUnknownFields, so a typo ("targets" for "target") fails loudly
+// instead of silently injecting nothing and "passing" a sweep that never
+// exercised its axis. The analyzer flags json.Unmarshal calls whose
+// target type contains a config type, and json.Decoder.Decode calls on
+// decoders that never call DisallowUnknownFields in the same function.
+// Config types that define their own strict UnmarshalJSON (AggregationSpec)
+// are trusted wherever they appear.
+package jsonstrict
+
+import (
+	"fmt"
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"amrproxyio/internal/analysis"
+)
+
+// ConfigTypes lists the guarded types as "pkgpath.Name". A decode target
+// that is, or transitively contains, one of these must be strict.
+var ConfigTypes = []string{
+	"amrproxyio/internal/faults.Plan",
+	"amrproxyio/internal/resilience.Policy",
+	"amrproxyio/internal/iosim.AggregationSpec",
+	"amrproxyio/internal/campaign.Case",
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "jsonstrict",
+	Doc: "flags lenient JSON decoding (no DisallowUnknownFields) of simulation config " +
+		"types; typos in a config must fail loudly, not configure nothing",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue // tests exercise lenient and error paths on purpose
+		}
+		var funcs []*ast.FuncDecl
+		for _, d := range f.Decls {
+			if fd, ok := d.(*ast.FuncDecl); ok && fd.Body != nil {
+				funcs = append(funcs, fd)
+			}
+		}
+		for _, fd := range funcs {
+			checkFunc(pass, fd)
+		}
+	}
+	return nil
+}
+
+func checkFunc(pass *analysis.Pass, fd *ast.FuncDecl) {
+	// First pass: which decoder objects had DisallowUnknownFields called.
+	strict := map[types.Object]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok || sel.Sel.Name != "DisallowUnknownFields" {
+			return true
+		}
+		if id, ok := sel.X.(*ast.Ident); ok {
+			if obj := pass.ObjectOf(id); obj != nil {
+				strict[obj] = true
+			}
+		}
+		return true
+	})
+
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		switch sel.Sel.Name {
+		case "Unmarshal":
+			if !isJSONPkgFunc(pass, sel) || len(call.Args) != 2 {
+				return true
+			}
+			if name, ok := targetConfigType(pass, call.Args[1]); ok {
+				pass.Report(analysis.Diagnostic{
+					Pos: call.Pos(),
+					Message: fmt.Sprintf(
+						"json.Unmarshal into a type containing config type %s without DisallowUnknownFields: unknown fields (typos) are silently dropped — decode strictly",
+						name),
+					Fix: unmarshalFix(pass, call),
+				})
+			}
+		case "Decode":
+			recv := pass.TypeOf(sel.X)
+			if recv == nil || !isJSONDecoder(recv) || len(call.Args) != 1 {
+				return true
+			}
+			name, ok := targetConfigType(pass, call.Args[0])
+			if !ok {
+				return true
+			}
+			if id, isIdent := sel.X.(*ast.Ident); isIdent {
+				if obj := pass.ObjectOf(id); obj != nil && strict[obj] {
+					return true
+				}
+			}
+			pass.Reportf(call.Pos(),
+				"Decode into a type containing config type %s on a decoder without DisallowUnknownFields in this function: unknown fields (typos) are silently dropped",
+				name)
+		}
+		return true
+	})
+}
+
+// isJSONPkgFunc reports whether sel resolves to a function in
+// encoding/json.
+func isJSONPkgFunc(pass *analysis.Pass, sel *ast.SelectorExpr) bool {
+	fn, ok := pass.ObjectOf(sel.Sel).(*types.Func)
+	return ok && fn.Pkg() != nil && fn.Pkg().Path() == "encoding/json"
+}
+
+func isJSONDecoder(t types.Type) bool {
+	return analysis.IsNamedType(t, "encoding/json", "Decoder")
+}
+
+// targetConfigType reports whether the decode target (typically &x)
+// contains a guarded config type, returning the first one found.
+func targetConfigType(pass *analysis.Pass, arg ast.Expr) (string, bool) {
+	t := pass.TypeOf(arg)
+	if t == nil {
+		return "", false
+	}
+	seen := map[types.Type]bool{}
+	return containsConfig(t, seen)
+}
+
+// containsConfig walks t's structure looking for config types. A named
+// config type with its own UnmarshalJSON method is trusted (the
+// strictness lives on the type) and terminates that branch.
+func containsConfig(t types.Type, seen map[types.Type]bool) (string, bool) {
+	if t == nil || seen[t] {
+		return "", false
+	}
+	seen[t] = true
+	switch v := t.(type) {
+	case *types.Pointer:
+		return containsConfig(v.Elem(), seen)
+	case *types.Slice:
+		return containsConfig(v.Elem(), seen)
+	case *types.Array:
+		return containsConfig(v.Elem(), seen)
+	case *types.Map:
+		return containsConfig(v.Elem(), seen)
+	case *types.Named:
+		obj := v.Obj()
+		if obj != nil && obj.Pkg() != nil {
+			full := analysis.StripTestVariant(obj.Pkg().Path()) + "." + obj.Name()
+			for _, c := range ConfigTypes {
+				if full == c {
+					if hasUnmarshalJSON(v) {
+						return "", false // trusted custom strict decoder
+					}
+					return shortName(full), true
+				}
+			}
+		}
+		return containsConfig(v.Underlying(), seen)
+	case *types.Struct:
+		for i := 0; i < v.NumFields(); i++ {
+			if name, ok := containsConfig(v.Field(i).Type(), seen); ok {
+				return name, ok
+			}
+		}
+	}
+	return "", false
+}
+
+// hasUnmarshalJSON reports whether *T defines UnmarshalJSON.
+func hasUnmarshalJSON(n *types.Named) bool {
+	for i := 0; i < n.NumMethods(); i++ {
+		if n.Method(i).Name() == "UnmarshalJSON" {
+			return true
+		}
+	}
+	return false
+}
+
+func shortName(full string) string {
+	if i := strings.LastIndexByte(full, '/'); i >= 0 {
+		return full[i+1:]
+	}
+	return full
+}
+
+// unmarshalFix rewrites json.Unmarshal(data, &x) into an equivalent
+// strict-decoding expression. The rewrite is expression-for-expression
+// (both evaluate to error), so it is safe in any context.
+func unmarshalFix(pass *analysis.Pass, call *ast.CallExpr) *analysis.SuggestedFix {
+	data, target := sourceText(pass, call.Args[0]), sourceText(pass, call.Args[1])
+	if data == "" || target == "" {
+		return nil
+	}
+	repl := fmt.Sprintf("func() error {\n\t\tdec := json.NewDecoder(bytes.NewReader(%s))\n\t\tdec.DisallowUnknownFields()\n\t\treturn dec.Decode(%s)\n\t}()", data, target)
+	return &analysis.SuggestedFix{
+		Message: `decode through a strict decoder (add "bytes" to imports if missing)`,
+		Edits: []analysis.TextEdit{{
+			Pos:     call.Pos(),
+			End:     call.End(),
+			NewText: repl,
+		}},
+	}
+}
+
+// sourceText renders simple argument expressions; empty for shapes the
+// fix generator does not handle.
+func sourceText(pass *analysis.Pass, e ast.Expr) string {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		if base := sourceText(pass, v.X); base != "" {
+			return base + "." + v.Sel.Name
+		}
+	case *ast.UnaryExpr:
+		if inner := sourceText(pass, v.X); inner != "" {
+			return v.Op.String() + inner
+		}
+	}
+	return ""
+}

@@ -1,0 +1,33 @@
+package jsonstrict_test
+
+import (
+	"strings"
+	"testing"
+
+	"amrproxyio/internal/analysis/analysistest"
+	"amrproxyio/internal/analysis/jsonstrict"
+)
+
+func TestFlaggedAndAllowedCases(t *testing.T) {
+	diags := analysistest.Run(t, jsonstrict.Analyzer, "testdata/src/flagged")
+	if len(diags) != 4 {
+		t.Fatalf("got %d diagnostics, want 4", len(diags))
+	}
+	// Both json.Unmarshal sites must carry the mechanical strict-decoder
+	// rewrite; the decoder sites need a human (move or harden the
+	// decoder), so no fix there.
+	fixes := 0
+	for _, d := range diags {
+		if d.Fix == nil {
+			continue
+		}
+		fixes++
+		text := d.Fix.Edits[0].NewText
+		if !strings.Contains(text, "DisallowUnknownFields()") || !strings.Contains(text, "json.NewDecoder(bytes.NewReader(") {
+			t.Errorf("suggested fix is not the strict-decoder block:\n%s", text)
+		}
+	}
+	if fixes != 2 {
+		t.Errorf("got %d suggested fixes, want 2 (the json.Unmarshal sites)", fixes)
+	}
+}

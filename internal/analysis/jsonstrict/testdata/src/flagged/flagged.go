@@ -1,0 +1,74 @@
+// Package flagged seeds jsonstrict violations against the real config
+// types, including the containment case (a struct holding a
+// campaign.Case) that bit campaign.LoadResult.
+package flagged
+
+import (
+	"bytes"
+	"encoding/json"
+
+	"amrproxyio/internal/campaign"
+	"amrproxyio/internal/faults"
+	"amrproxyio/internal/iosim"
+	"amrproxyio/internal/resilience"
+)
+
+// LenientPlan decodes a fault plan without strictness: a typo configures
+// nothing and the sweep silently runs fault-free.
+func LenientPlan(data []byte) (faults.Plan, error) {
+	var p faults.Plan
+	err := json.Unmarshal(data, &p) // want `json.Unmarshal into a type containing config type faults.Plan`
+	return p, err
+}
+
+// LenientContained: the config type hides one field deep — the exact
+// campaign.LoadResult shape.
+type wrapper struct {
+	Name string        `json:"name"`
+	Case campaign.Case `json:"case"`
+}
+
+func LenientContained(data []byte) (wrapper, error) {
+	var w wrapper
+	err := json.Unmarshal(data, &w) // want `json.Unmarshal into a type containing config type campaign.Case`
+	return w, err
+}
+
+// LenientDecoder builds a decoder but never hardens it.
+func LenientDecoder(data []byte) (resilience.Policy, error) {
+	var p resilience.Policy
+	dec := json.NewDecoder(bytes.NewReader(data))
+	err := dec.Decode(&p) // want `Decode into a type containing config type resilience.Policy`
+	return p, err
+}
+
+// ChainedDecoder can never be strict: no variable to harden.
+func ChainedDecoder(data []byte) (faults.Plan, error) {
+	var p faults.Plan
+	err := json.NewDecoder(bytes.NewReader(data)).Decode(&p) // want `Decode into a type containing config type faults.Plan`
+	return p, err
+}
+
+// StrictDecoder is the contract: allowed.
+func StrictDecoder(data []byte) (faults.Plan, error) {
+	var p faults.Plan
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	err := dec.Decode(&p)
+	return p, err
+}
+
+// TrustedCustomUnmarshaler: AggregationSpec's own UnmarshalJSON is
+// already strict, so plain Unmarshal into it is allowed.
+func TrustedCustomUnmarshaler(data []byte) (iosim.AggregationSpec, error) {
+	var s iosim.AggregationSpec
+	err := json.Unmarshal(data, &s)
+	return s, err
+}
+
+// NonConfigDecode: arbitrary types decode however they like.
+func NonConfigDecode(data []byte) (map[string]int, error) {
+	var m map[string]int
+	err := json.Unmarshal(data, &m)
+	return m, err
+}

@@ -1,0 +1,262 @@
+// Package lockedalloc guards iosim's sharded-ledger hot path: the
+// per-rank shard mutex is uncontended by design (PR 2), so the only way
+// to reintroduce the global serialization point the sharding removed is
+// to make the critical section slow — blocking I/O, a channel wait, a
+// nested shard lock (deadlock risk under the rank-major merge), or a
+// size-unbounded allocation while the lock is held. The write path
+// deliberately does its RealDisk I/O *before* taking the lock and
+// preallocates merge buffers *outside* the per-shard sections; this
+// analyzer pins that structure. The check is intra-procedural: it audits
+// the statements lexically between Lock and Unlock (or function end,
+// for defer), the shape all shard sections in iosim take.
+package lockedalloc
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"amrproxyio/internal/analysis"
+)
+
+// Packages scopes the analyzer to the sharded-ledger package.
+var Packages = []string{"amrproxyio/internal/iosim"}
+
+// LockOwnerTypes names the struct types whose "mu" field is a shard
+// mutex. Locks on other owners (e.g. FileSystem.growMu) are not shard
+// sections.
+var LockOwnerTypes = map[string]bool{"shard": true}
+
+// blockedPkgs are packages whose package-level functions block on the
+// outside world (or on the scheduler) and must not run under a shard
+// lock. fmt is handled separately: only its writer-backed Print family
+// blocks.
+var blockedPkgs = map[string]bool{
+	"os": true, "io": true, "net": true, "net/http": true,
+	"log": true, "os/exec": true,
+}
+
+// allocThreshold is the largest constant make() size tolerated under a
+// shard lock; anything bigger (or non-constant) must be hoisted out.
+const allocThreshold = 4096
+
+var Analyzer = &analysis.Analyzer{
+	Name: "lockedalloc",
+	Doc: "flags blocking calls, channel operations, nested shard locks, and " +
+		"size-unbounded allocations while an iosim shard mutex is held",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	if !analysis.PackageMatch(pass.PkgPath(), Packages) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			block, ok := n.(*ast.BlockStmt)
+			if !ok {
+				return true
+			}
+			checkBlock(pass, block)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkBlock scans one statement list for shard-lock critical sections.
+func checkBlock(pass *analysis.Pass, block *ast.BlockStmt) {
+	for i, stmt := range block.List {
+		owner := lockCall(pass, stmt, "Lock")
+		if owner == nil {
+			continue
+		}
+		// Section: statements after the Lock until the matching Unlock in
+		// this list; a `defer x.mu.Unlock()` (or no Unlock here) holds the
+		// lock for the rest of the list.
+		for j := i + 1; j < len(block.List); j++ {
+			s := block.List[j]
+			if u := lockCall(pass, s, "Unlock"); u != nil && sameOwner(pass, owner, u) {
+				break
+			}
+			if d, ok := s.(*ast.DeferStmt); ok && isMuMethod(pass, d.Call, "Unlock") != nil {
+				continue
+			}
+			checkStmt(pass, s, owner)
+		}
+	}
+}
+
+// lockCall matches `expr.mu.<method>()` as a statement, returning the
+// owner expression when its type is a shard type.
+func lockCall(pass *analysis.Pass, stmt ast.Stmt, method string) ast.Expr {
+	es, ok := stmt.(*ast.ExprStmt)
+	if !ok {
+		return nil
+	}
+	call, ok := es.X.(*ast.CallExpr)
+	if !ok {
+		return nil
+	}
+	return isMuMethod(pass, call, method)
+}
+
+// isMuMethod matches a call of the form owner.mu.<method>() where owner
+// has a LockOwnerTypes type; it returns the owner expression.
+func isMuMethod(pass *analysis.Pass, call *ast.CallExpr, method string) ast.Expr {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || sel.Sel.Name != method {
+		return nil
+	}
+	mu, ok := sel.X.(*ast.SelectorExpr)
+	if !ok || mu.Sel.Name != "mu" {
+		return nil
+	}
+	t := pass.TypeOf(mu.X)
+	if t == nil {
+		return nil
+	}
+	if p, ok := t.(*types.Pointer); ok {
+		t = p.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok || !LockOwnerTypes[named.Obj().Name()] {
+		return nil
+	}
+	return mu.X
+}
+
+// sameOwner compares two owner expressions, by object for identifiers
+// and by rendering otherwise.
+func sameOwner(pass *analysis.Pass, a, b ast.Expr) bool {
+	ai, aok := a.(*ast.Ident)
+	bi, bok := b.(*ast.Ident)
+	if aok && bok {
+		ao, bo := pass.ObjectOf(ai), pass.ObjectOf(bi)
+		return ao != nil && ao == bo
+	}
+	return exprText(a) == exprText(b)
+}
+
+func exprText(e ast.Expr) string {
+	switch v := e.(type) {
+	case *ast.Ident:
+		return v.Name
+	case *ast.SelectorExpr:
+		return exprText(v.X) + "." + v.Sel.Name
+	case *ast.IndexExpr:
+		return exprText(v.X) + "[" + exprText(v.Index) + "]"
+	default:
+		return ""
+	}
+}
+
+// checkStmt walks one statement inside a critical section. Function
+// literals are skipped: their bodies run when called, not where defined.
+func checkStmt(pass *analysis.Pass, stmt ast.Stmt, owner ast.Expr) {
+	ast.Inspect(stmt, func(n ast.Node) bool {
+		switch v := n.(type) {
+		case *ast.FuncLit:
+			return false
+		case *ast.SendStmt:
+			pass.Reportf(v.Pos(), "channel send while a shard mutex is held: the shard section must stay non-blocking")
+		case *ast.UnaryExpr:
+			if v.Op == token.ARROW {
+				pass.Reportf(v.Pos(), "channel receive while a shard mutex is held: the shard section must stay non-blocking")
+			}
+		case *ast.SelectStmt:
+			pass.Reportf(v.Pos(), "select while a shard mutex is held: the shard section must stay non-blocking")
+		case *ast.CallExpr:
+			checkCall(pass, v, owner)
+		}
+		return true
+	})
+}
+
+func checkCall(pass *analysis.Pass, call *ast.CallExpr, owner ast.Expr) {
+	// Nested shard lock: deadlock risk against the rank-major merge.
+	if o := isMuMethod(pass, call, "Lock"); o != nil && !sameOwner(pass, owner, o) {
+		pass.Reportf(call.Pos(), "nested shard lock while another shard mutex is held: lock shards one at a time (rank-major), or the merge can deadlock")
+		return
+	}
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		if fun.Name == "make" {
+			if _, ok := pass.ObjectOf(fun).(*types.Builtin); ok {
+				checkMake(pass, call)
+			}
+		}
+	case *ast.SelectorExpr:
+		fn, ok := pass.ObjectOf(fun.Sel).(*types.Func)
+		if !ok || fn.Pkg() == nil {
+			return
+		}
+		if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+			return // methods: intra-package pricing calls are the section's job
+		}
+		pkg, name := fn.Pkg().Path(), fn.Name()
+		switch {
+		case blockedPkgs[pkg]:
+			pass.Reportf(call.Pos(), "%s.%s while a shard mutex is held: do I/O before taking the lock (the write path prices under the lock, it does not touch the host)", pkgShort(pkg), name)
+		case pkg == "time" && name == "Sleep":
+			pass.Reportf(call.Pos(), "time.Sleep while a shard mutex is held: the shard section must stay non-blocking")
+		case pkg == "fmt" && (strings.HasPrefix(name, "Print") || strings.HasPrefix(name, "Fprint")):
+			pass.Reportf(call.Pos(), "fmt.%s while a shard mutex is held: writer-backed printing blocks; log outside the section", name)
+		}
+	}
+}
+
+// checkMake flags size-unbounded (non-constant) or large-constant
+// allocations under the lock.
+func checkMake(pass *analysis.Pass, call *ast.CallExpr) {
+	if len(call.Args) < 2 {
+		return // make(map) / make(chan) without size hint: cheap header alloc
+	}
+	// The largest size argument (len or cap) governs the allocation.
+	for _, arg := range call.Args[1:] {
+		tv, ok := pass.TypesInfo.Types[arg]
+		if !ok || tv.Value == nil {
+			pass.Reportf(call.Pos(), "size-unbounded make while a shard mutex is held: preallocate outside the section (Ledger sizes its merge buffer before locking)")
+			return
+		}
+		if v, exact := constIntValue(tv); exact && v > allocThreshold {
+			pass.Reportf(call.Pos(), "make of %d elements while a shard mutex is held (threshold %d): hoist the allocation out of the section", v, allocThreshold)
+			return
+		}
+	}
+}
+
+func constIntValue(tv types.TypeAndValue) (int64, bool) {
+	if tv.Value == nil {
+		return 0, false
+	}
+	s := tv.Value.ExactString()
+	var v int64
+	neg := false
+	for i := 0; i < len(s); i++ {
+		c := s[i]
+		if i == 0 && c == '-' {
+			neg = true
+			continue
+		}
+		if c < '0' || c > '9' {
+			return 0, false
+		}
+		v = v*10 + int64(c-'0')
+		if v < 0 {
+			return 0, false // overflow: treat as non-exact
+		}
+	}
+	if neg {
+		v = -v
+	}
+	return v, true
+}
+
+func pkgShort(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

@@ -1,0 +1,24 @@
+package lockedalloc_test
+
+import (
+	"testing"
+
+	"amrproxyio/internal/analysis/analysistest"
+	"amrproxyio/internal/analysis/lockedalloc"
+)
+
+const fixturePkg = "amrproxyio/internal/analysis/lockedalloc/testdata/src/flagged"
+
+func TestFlaggedAndAllowedCases(t *testing.T) {
+	old := lockedalloc.Packages
+	lockedalloc.Packages = append([]string{fixturePkg}, old...)
+	defer func() { lockedalloc.Packages = old }()
+
+	diags := analysistest.Run(t, lockedalloc.Analyzer, "testdata/src/flagged")
+	if len(diags) != 8 {
+		for _, d := range diags {
+			t.Logf("%s: %s", d.Position, d.Message)
+		}
+		t.Fatalf("got %d diagnostics, want 8", len(diags))
+	}
+}

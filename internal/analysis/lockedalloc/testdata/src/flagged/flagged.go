@@ -1,0 +1,92 @@
+// Package flagged seeds lockedalloc violations against a local shard
+// type shaped like iosim's: blocking calls, channel waits, nested shard
+// locks, and unbounded allocations inside the critical section.
+package flagged
+
+import (
+	"fmt"
+	"os"
+	"sync"
+	"time"
+)
+
+type shard struct {
+	mu      sync.Mutex
+	records []int64
+	bytes   int64
+}
+
+// table has a mutex too, but it is not a shard: its sections are not
+// audited.
+type table struct {
+	mu sync.Mutex
+	n  int
+}
+
+// BlockingUnderLock does host I/O and sleeps inside the section.
+func BlockingUnderLock(s *shard, path string, data []byte) error {
+	s.mu.Lock()
+	err := os.WriteFile(path, data, 0o644) // want `os.WriteFile while a shard mutex is held`
+	time.Sleep(time.Millisecond)           // want `time.Sleep while a shard mutex is held`
+	fmt.Printf("wrote %d\n", len(data))    // want `fmt.Printf while a shard mutex is held`
+	s.mu.Unlock()
+	return err
+}
+
+// AllocUnderLock sizes buffers inside the section.
+func AllocUnderLock(s *shard, n int) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	buf := make([]byte, n)        // want `size-unbounded make while a shard mutex is held`
+	big := make([]float64, 1<<20) // want `make of 1048576 elements while a shard mutex is held`
+	s.bytes += int64(len(buf) + len(big))
+}
+
+// NestedLock takes a second shard's lock inside the first's section.
+func NestedLock(a, b *shard) {
+	a.mu.Lock()
+	b.mu.Lock() // want `nested shard lock while another shard mutex is held`
+	b.bytes++
+	b.mu.Unlock()
+	a.mu.Unlock()
+}
+
+// ChannelUnderLock waits on channels inside the section.
+func ChannelUnderLock(s *shard, in <-chan int64, out chan<- int64) {
+	s.mu.Lock()
+	v := <-in // want `channel receive while a shard mutex is held`
+	out <- v  // want `channel send while a shard mutex is held`
+	s.mu.Unlock()
+}
+
+// WritePath is the contract: I/O before the lock, append and pricing
+// under it, small preallocation allowed.
+func WritePath(s *shard, path string, data []byte) error {
+	err := os.WriteFile(path, data, 0o644)
+	scratch := make([]int64, 0, 64)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.records = append(s.records, int64(len(data)))
+	s.records = append(s.records, scratch...)
+	s.bytes += int64(len(data))
+	return err
+}
+
+// DeferredWork defines (but does not run) a closure under the lock:
+// its body executes later, so it is not part of the section.
+func DeferredWork(s *shard, path string) func() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	n := s.bytes
+	return func() error {
+		return os.WriteFile(path, make([]byte, n), 0o644)
+	}
+}
+
+// NotAShard locks a non-shard mutex: out of scope for this analyzer.
+func NotAShard(t *table, path string, data []byte) error {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.n++
+	return os.WriteFile(path, data, 0o644)
+}

@@ -1,0 +1,50 @@
+package maprangefloat_test
+
+import (
+	"strings"
+	"testing"
+
+	"amrproxyio/internal/analysis/analysistest"
+	"amrproxyio/internal/analysis/maprangefloat"
+)
+
+const fixtureScope = "amrproxyio/internal/analysis/maprangefloat/testdata/src/flagged"
+
+func TestFlaggedAndAllowedCases(t *testing.T) {
+	maprangefloat.Packages = append(maprangefloat.Packages, fixtureScope)
+	defer func() { maprangefloat.Packages = maprangefloat.Packages[:len(maprangefloat.Packages)-1] }()
+
+	diags := analysistest.Run(t, maprangefloat.Analyzer, "testdata/src/flagged")
+	if len(diags) != 4 {
+		t.Fatalf("got %d diagnostics, want 4", len(diags))
+	}
+
+	// The int-keyed map sites must carry the mechanical sorted-keys
+	// rewrite.
+	fixes := 0
+	for _, d := range diags {
+		if d.Fix == nil {
+			continue
+		}
+		fixes++
+		if len(d.Fix.Edits) != 1 {
+			t.Fatalf("fix for %s has %d edits, want 1", d.Message, len(d.Fix.Edits))
+		}
+		text := d.Fix.Edits[0].NewText
+		if !strings.Contains(text, "sort.Ints(ks)") || !strings.Contains(text, "for _,") {
+			t.Errorf("suggested fix is not the sorted-keys loop:\n%s", text)
+		}
+	}
+	if fixes != 4 {
+		t.Errorf("got %d suggested fixes, want 4 (all fixtures use int-keyed maps)", fixes)
+	}
+}
+
+func TestOutOfScopePackageIsIgnored(t *testing.T) {
+	// The fixture contains a violation but its package path is not in
+	// maprangefloat.Packages, so the analyzer must report nothing.
+	diags := analysistest.Run(t, maprangefloat.Analyzer, "testdata/src/outofscope")
+	if len(diags) != 0 {
+		t.Fatalf("out-of-scope package produced %d diagnostics, want 0", len(diags))
+	}
+}

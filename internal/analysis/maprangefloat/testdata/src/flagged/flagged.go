@@ -1,0 +1,94 @@
+// Package flagged seeds maprangefloat violations: order-sensitive
+// reductions over map iteration.
+package flagged
+
+import "sort"
+
+// SumDurations is the PR-7 BurstStats bug shape: a float sum in map
+// iteration order.
+func SumDurations(perRank map[int]float64) float64 {
+	var sum float64
+	for _, d := range perRank { // the fix is the sorted-keys loop below
+		sum += d // want `float accumulation into sum in map iteration order`
+	}
+	return sum
+}
+
+// MeanByField accumulates into a struct field, which is just as
+// order-sensitive as a local.
+type stats struct{ wall float64 }
+
+func MeanByField(perRank map[int]float64) stats {
+	var s stats
+	for _, d := range perRank {
+		s.wall += d // want `float accumulation into s.wall`
+	}
+	return s
+}
+
+// CollectValues appends map values, making the slice's order
+// schedule-dependent.
+func CollectValues(m map[int]float64) []float64 {
+	var out []float64
+	for _, v := range m {
+		out = append(out, v) // want `append to out in map iteration order`
+	}
+	return out
+}
+
+// SortedSum is the required idiom: collect keys (legal append), sort,
+// reduce in key order.
+func SortedSum(perRank map[int]float64) float64 {
+	keys := make([]int, 0, len(perRank))
+	for k := range perRank {
+		keys = append(keys, k) // collecting the range key is the prep idiom
+	}
+	sort.Ints(keys)
+	var sum float64
+	for _, k := range keys {
+		sum += perRank[k]
+	}
+	return sum
+}
+
+// MaxDuration is order-independent (max is commutative): allowed.
+func MaxDuration(perRank map[int]float64) float64 {
+	var max float64
+	for _, d := range perRank {
+		if d > max {
+			max = d
+		}
+	}
+	return max
+}
+
+// IntSum is exact integer addition: order-independent, allowed.
+func IntSum(m map[int]int64) int64 {
+	var total int64
+	for _, b := range m {
+		total += b
+	}
+	return total
+}
+
+// KeyedWrite touches each destination key once: order-independent.
+func KeyedWrite(src map[int]float64, dst map[int]float64) {
+	for k, v := range src {
+		dst[k] += v
+	}
+}
+
+// LocalAccumulator is declared inside the loop body, so it never spans
+// iterations: allowed.
+func LocalAccumulator(m map[int][]float64) []float64 {
+	var out []float64
+	for k, vs := range m {
+		var rowSum float64
+		for _, v := range vs {
+			rowSum += v
+		}
+		_ = k
+		out = append(out, rowSum) // want `append to out in map iteration order`
+	}
+	return out
+}

@@ -1,0 +1,14 @@
+// Package outofscope carries the same float-over-map-range shape as the
+// flagged fixture but is analyzed without being added to
+// maprangefloat.Packages: the analyzer must stay silent outside the
+// determinism-pinned packages.
+package outofscope
+
+// Sum would be flagged inside iosim/faults/resilience/report.
+func Sum(m map[int]float64) float64 {
+	var sum float64
+	for _, v := range m {
+		sum += v
+	}
+	return sum
+}

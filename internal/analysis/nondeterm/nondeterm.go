@@ -1,0 +1,91 @@
+// Package nondeterm forbids wall-clock time and unseeded randomness in
+// the simulation and pricing packages. The whole proxy-app methodology
+// rests on replayed I/O ledgers being bit-reproducible: a time.Now or a
+// global math/rand draw anywhere in the write path would make two runs of
+// the same case disagree, silently invalidating every byte-identical
+// property pin. Jitter must stay the inline seeded FNV-1a hash (pinned to
+// the seed since PR 2), and any other randomness must flow from an
+// explicit rand.New(rand.NewSource(seed)) the way faults.Plan draws its
+// MTBF interrupts.
+package nondeterm
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"amrproxyio/internal/analysis"
+)
+
+// Packages scopes the analyzer. Everything under internal/ is simulation
+// or reporting and must replay deterministically; campaign is exempt
+// because its job includes measuring real elapsed wall time for RunAll.
+var Packages = []string{"amrproxyio/internal"}
+
+// Exempt lists subtrees inside Packages the analyzer skips.
+var Exempt = []string{"amrproxyio/internal/campaign"}
+
+// seededConstructors are the math/rand entry points that take an explicit
+// source or seed — the allowed, reproducible path.
+var seededConstructors = map[string]bool{
+	"New":        true,
+	"NewSource":  true,
+	"NewZipf":    true,
+	"NewPCG":     true, // math/rand/v2
+	"NewChaCha8": true,
+}
+
+var Analyzer = &analysis.Analyzer{
+	Name: "nondeterm",
+	Doc: "forbids time.Now and global/unseeded math/rand in simulation packages; " +
+		"randomness must be seeded (rand.New(rand.NewSource(seed))) and time simulated",
+	Run: run,
+}
+
+func run(pass *analysis.Pass) error {
+	path := pass.PkgPath()
+	if !analysis.PackageMatch(path, Packages) || analysis.PackageMatch(path, Exempt) {
+		return nil
+	}
+	for _, f := range pass.Files {
+		if pass.IsTestFile(f.Pos()) {
+			continue // tests may time themselves; the ledger contract binds non-test code
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			obj := pass.ObjectOf(sel.Sel)
+			fn, ok := obj.(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); ok && sig.Recv() != nil {
+				return true // methods (e.g. a seeded *rand.Rand) are fine
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if fn.Name() == "Now" {
+					pass.Reportf(sel.Pos(),
+						"time.Now in a simulation package: simulated clocks only, or ledgers stop replaying bit-identically")
+				}
+			case "math/rand", "math/rand/v2":
+				if !seededConstructors[fn.Name()] {
+					pass.Reportf(sel.Pos(),
+						"global %s.%s draws from process-global state: use rand.New(rand.NewSource(seed)) so runs replay",
+						pkgBase(fn.Pkg().Path()), fn.Name())
+				}
+			}
+			return true
+		})
+	}
+	return nil
+}
+
+func pkgBase(path string) string {
+	if i := strings.LastIndexByte(path, '/'); i >= 0 {
+		return path[i+1:]
+	}
+	return path
+}

@@ -1,0 +1,35 @@
+package nondeterm_test
+
+import (
+	"testing"
+
+	"amrproxyio/internal/analysis/analysistest"
+	"amrproxyio/internal/analysis/nondeterm"
+)
+
+func TestFlaggedAndAllowedCases(t *testing.T) {
+	// The fixture sits under amrproxyio/internal/..., so it is in the
+	// analyzer's default scope; its _test.go file uses time.Now and must
+	// stay unflagged.
+	diags := analysistest.Run(t, nondeterm.Analyzer, "testdata/src/flagged")
+	if len(diags) != 3 {
+		t.Fatalf("got %d diagnostics, want 3", len(diags))
+	}
+}
+
+func TestCampaignIsExempt(t *testing.T) {
+	// campaign measures real wall time for RunAll; the exemption is part
+	// of the contract, not an accident of scoping.
+	if !contains(nondeterm.Exempt, "amrproxyio/internal/campaign") {
+		t.Fatal("campaign must be exempt from nondeterm (it times real runs)")
+	}
+}
+
+func contains(xs []string, want string) bool {
+	for _, x := range xs {
+		if x == want {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,39 @@
+// Package flagged seeds nondeterm violations: wall-clock reads and
+// global randomness inside what the analyzer treats as a simulation
+// package.
+package flagged
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Jitter draws from the process-global source: irreproducible.
+func Jitter() float64 {
+	return rand.Float64() // want `global rand.Float64 draws from process-global state`
+}
+
+// Stamp reads the host clock: simulation time must be simulated.
+func Stamp() time.Time {
+	return time.Now() // want `time.Now in a simulation package`
+}
+
+// Shuffle mutates order via the global source.
+func Shuffle(xs []int) {
+	rand.Shuffle(len(xs), func(i, j int) { // want `global rand.Shuffle`
+		xs[i], xs[j] = xs[j], xs[i]
+	})
+}
+
+// SeededDraws is the allowed path: an explicit seed makes replays exact.
+func SeededDraws(seed int64, n int) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = rng.ExpFloat64() // method on a seeded *rand.Rand: allowed
+	}
+	return out
+}
+
+// Since is not Now: durations of simulated instants are fine.
+func Since(a, b time.Duration) time.Duration { return b - a }

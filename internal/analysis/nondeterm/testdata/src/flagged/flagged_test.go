@@ -1,0 +1,14 @@
+package flagged
+
+import (
+	"testing"
+	"time"
+)
+
+// Test files are exempt: timing a test against the wall clock is fine.
+func TestWallClockAllowedInTests(t *testing.T) {
+	start := time.Now()
+	if time.Since(start) < 0 {
+		t.Fatal("clock went backwards")
+	}
+}

@@ -1,0 +1,58 @@
+package analysis
+
+import (
+	"fmt"
+	"io"
+	"sort"
+)
+
+// RunPackage applies each analyzer to one loaded package and returns the
+// diagnostics, sorted by position then analyzer name so output is stable
+// across runs (the suite holds itself to its own determinism contract).
+func RunPackage(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, a := range analyzers {
+		pass := &Pass{
+			Analyzer:  a,
+			Fset:      pkg.Fset,
+			Files:     pkg.Files,
+			Pkg:       pkg.Types,
+			TypesInfo: pkg.Info,
+			Path:      pkg.Path,
+			diags:     &diags,
+		}
+		if err := a.Run(pass); err != nil {
+			return nil, fmt.Errorf("analysis: %s on %s: %v", a.Name, pkg.Path, err)
+		}
+	}
+	SortDiagnostics(diags)
+	return diags, nil
+}
+
+// SortDiagnostics orders diagnostics by file, line, column, analyzer.
+func SortDiagnostics(diags []Diagnostic) {
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i].Position, diags[j].Position
+		if a.Filename != b.Filename {
+			return a.Filename < b.Filename
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		if a.Column != b.Column {
+			return a.Column < b.Column
+		}
+		return diags[i].Analyzer < diags[j].Analyzer
+	})
+}
+
+// Print renders diagnostics in the conventional file:line:col form, with
+// suggested fixes (when present) indented beneath.
+func Print(w io.Writer, diags []Diagnostic) {
+	for _, d := range diags {
+		fmt.Fprintf(w, "%s: %s (%s)\n", d.Position, d.Message, d.Analyzer)
+		if d.Fix != nil {
+			fmt.Fprintf(w, "\tsuggested fix: %s\n", d.Fix.Message)
+		}
+	}
+}

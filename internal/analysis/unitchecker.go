@@ -1,0 +1,73 @@
+package analysis
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// The go vet driver protocol (`go vet -vettool=$(which amrio-vet)`): the
+// go command invokes the tool once with -flags (expecting a JSON array of
+// flag definitions), once with -V=full (a version line it hashes into
+// cache keys), and then once per package with the path of a JSON config
+// file describing the compilation unit. The tool must write the VetxOutput
+// facts file (empty: this suite exports no facts) and exit non-zero to
+// fail the build when diagnostics are found. The schema mirrors
+// golang.org/x/tools/go/analysis/unitchecker.
+
+// VetConfig is the per-unit JSON the go command hands the tool.
+type VetConfig struct {
+	ID                        string
+	Compiler                  string
+	Dir                       string
+	ImportPath                string
+	GoVersion                 string
+	GoFiles                   []string
+	NonGoFiles                []string
+	IgnoredFiles              []string
+	ImportMap                 map[string]string
+	PackageFile               map[string]string
+	Standard                  map[string]bool
+	PackageVetx               map[string]string
+	VetxOnly                  bool
+	VetxOutput                string
+	SucceedOnTypecheckFailure bool
+}
+
+// RunUnit executes analyzers over one vet compilation unit. It returns
+// the number of diagnostics reported; the caller maps that to the exit
+// code (go vet treats any non-zero exit as failure).
+func RunUnit(cfgPath string, analyzers []*Analyzer, out io.Writer) (int, error) {
+	data, err := os.ReadFile(cfgPath)
+	if err != nil {
+		return 0, fmt.Errorf("analysis: reading vet config: %v", err)
+	}
+	var cfg VetConfig
+	if err := json.Unmarshal(data, &cfg); err != nil {
+		return 0, fmt.Errorf("analysis: parsing vet config %s: %v", cfgPath, err)
+	}
+	// The facts file must exist even when empty, or the go command
+	// reports the tool as failed regardless of diagnostics.
+	if cfg.VetxOutput != "" {
+		if err := os.WriteFile(cfg.VetxOutput, nil, 0o666); err != nil {
+			return 0, fmt.Errorf("analysis: writing facts output: %v", err)
+		}
+	}
+	if cfg.VetxOnly || len(cfg.GoFiles) == 0 {
+		return 0, nil
+	}
+	pkg, err := CheckFiles(cfg.ImportPath, cfg.GoFiles, cfg.ImportMap, cfg.PackageFile)
+	if err != nil {
+		if cfg.SucceedOnTypecheckFailure {
+			return 0, nil
+		}
+		return 0, err
+	}
+	diags, err := RunPackage(pkg, analyzers)
+	if err != nil {
+		return 0, err
+	}
+	Print(out, diags)
+	return len(diags), nil
+}

@@ -1,0 +1,21 @@
+// Package bad is the known-bad smoke fixture for the amrio-vet driver
+// tests: it violates two different analyzers (nondeterm, boxarraylit)
+// so a passing run proves the suite is actually wired in.
+package bad
+
+import (
+	"time"
+
+	"amrproxyio/internal/amr"
+	"amrproxyio/internal/grid"
+)
+
+// Stamp uses wall-clock time in simulation-scoped code.
+func Stamp() int64 {
+	return time.Now().UnixNano()
+}
+
+// RawBoxArray bypasses NewBoxArray, leaving the lazy index holder nil.
+func RawBoxArray(boxes []grid.Box) amr.BoxArray {
+	return amr.BoxArray{Boxes: boxes}
+}

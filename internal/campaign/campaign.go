@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -455,7 +456,9 @@ func LoadResult(path string) (Result, error) {
 	if err != nil {
 		return r, fmt.Errorf("campaign: %w", err)
 	}
-	if err := json.Unmarshal(data, &r); err != nil {
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&r); err != nil {
 		return r, fmt.Errorf("campaign: unmarshal %s: %w", path, err)
 	}
 	return r, nil

@@ -1,0 +1,42 @@
+package faults
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzParse hammers the fault-plan decoder: no input may panic, and any
+// accepted plan must be a marshal fixpoint (parse → marshal → parse
+// yields the same canonical bytes), so saved plans reload identically.
+func FuzzParse(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"mtbf_seconds": 3600, "seed": 7}`))
+	f.Add([]byte(`{"events":[{"kind":"target_outage","start":10,"duration":5,"target":2}]}`))
+	f.Add([]byte(`{"events":[],"max_retries":3}`))
+	f.Add([]byte(`{"unknown_field": 1}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(`{"mtbf_seconds": -1}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := Parse(data)
+		if err != nil {
+			return // rejected inputs just must not panic
+		}
+		m1, err := json.Marshal(p)
+		if err != nil {
+			t.Fatalf("accepted plan does not marshal: %v", err)
+		}
+		p2, err := Parse(m1)
+		if err != nil {
+			t.Fatalf("marshal of accepted plan does not reparse: %v\nplan: %s", err, m1)
+		}
+		m2, err := json.Marshal(p2)
+		if err != nil {
+			t.Fatalf("reparsed plan does not marshal: %v", err)
+		}
+		if !bytes.Equal(m1, m2) {
+			t.Fatalf("parse/marshal not a fixpoint:\nfirst:  %s\nsecond: %s", m1, m2)
+		}
+	})
+}

@@ -146,19 +146,7 @@ func Characterize(records []WriteRecord) Characterization {
 	c.P50Write = sizes[len(sizes)/2]
 	c.P95Write = sizes[(len(sizes)*95)/100]
 
-	loads := make([]float64, 0, len(ranks))
-	var sum, max float64
-	for _, b := range ranks {
-		v := float64(b)
-		loads = append(loads, v)
-		sum += v
-		if v > max {
-			max = v
-		}
-	}
-	if mean := sum / float64(len(loads)); mean > 0 {
-		c.RankImbalance = max / mean
-	}
+	c.RankImbalance = bytesImbalance(ranks)
 
 	bursts := BurstStats(records)
 	c.Bursts = len(bursts)
@@ -206,20 +194,22 @@ func Characterize(records []WriteRecord) Characterization {
 }
 
 // bytesImbalance returns max/mean over a byte-count map (0 when empty).
+// Sums accumulate in int64 — exact and order-independent — so the result
+// does not depend on map iteration order (float addition is not
+// associative; see the maprangefloat analyzer).
 func bytesImbalance[K comparable](m map[K]int64) float64 {
 	if len(m) == 0 {
 		return 0
 	}
-	var sum, max float64
+	var sum, max int64
 	for _, b := range m {
-		v := float64(b)
-		sum += v
-		if v > max {
-			max = v
+		sum += b
+		if b > max {
+			max = b
 		}
 	}
-	if mean := sum / float64(len(m)); mean > 0 {
-		return max / mean
+	if sum > 0 {
+		return float64(max) / (float64(sum) / float64(len(m)))
 	}
 	return 0
 }

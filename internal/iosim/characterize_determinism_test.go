@@ -1,0 +1,32 @@
+package iosim
+
+import "testing"
+
+// TestBytesImbalanceOrderIndependent pins the fix for the amrio-vet
+// maprangefloat finding in bytesImbalance: the old code summed float64
+// in map iteration order, so {1<<53, 1, 1} produced either 2^53 or
+// 2^53+2 as the sum depending on which order the ranges happened to
+// visit (1<<53 + 1 == 1<<53 in float64). With int64 accumulation the
+// sum is exact and the skew is identical on every run.
+func TestBytesImbalanceOrderIndependent(t *testing.T) {
+	m := map[int]int64{0: 1 << 53, 1: 1, 2: 1}
+	sum := int64(1<<53 + 2)
+	want := float64(int64(1<<53)) / (float64(sum) / 3)
+
+	for i := 0; i < 200; i++ {
+		if got := bytesImbalance(m); got != want {
+			t.Fatalf("run %d: bytesImbalance = %v, want %v (order-dependent float sum?)", i, got, want)
+		}
+	}
+
+	// Make sure the pin actually discriminates: a runtime float sum that
+	// visits 1<<53 first absorbs both +1s (they are below one ulp), so
+	// that iteration order yields a different skew than the exact sum.
+	fsum := float64(int64(1 << 53))
+	fsum += 1
+	fsum += 1
+	lossy := float64(int64(1<<53)) / (fsum / 3)
+	if lossy == want {
+		t.Fatal("test values do not discriminate float summation orders")
+	}
+}

@@ -1,0 +1,45 @@
+package iosim
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzParseAggregation hammers the CLI aggregation-spec parser: no
+// input may panic, every accepted spec must validate, survive a JSON
+// round trip through its strict UnmarshalJSON unchanged, and keep a
+// stable Token (sweep directory names depend on it).
+func FuzzParseAggregation(f *testing.F) {
+	f.Add("all")
+	f.Add("1/node")
+	f.Add("2/node+sif+async")
+	f.Add("4/node+mif")
+	f.Add("0/node")
+	f.Add("all+bogus")
+	f.Add("+")
+	f.Add("-3/node")
+
+	f.Fuzz(func(t *testing.T, s string) {
+		spec, err := ParseAggregation(s)
+		if err != nil {
+			return
+		}
+		if err := spec.Validate(); err != nil {
+			t.Fatalf("ParseAggregation(%q) accepted an invalid spec: %v", s, err)
+		}
+		data, err := json.Marshal(spec)
+		if err != nil {
+			t.Fatalf("accepted spec does not marshal: %v", err)
+		}
+		var back AggregationSpec
+		if err := json.Unmarshal(data, &back); err != nil {
+			t.Fatalf("marshal of accepted spec does not reparse: %v\nspec: %s", err, data)
+		}
+		if back != spec {
+			t.Fatalf("JSON round trip changed the spec: %+v -> %+v", spec, back)
+		}
+		if spec.Token() == "" {
+			t.Fatalf("accepted spec %q has empty Token", s)
+		}
+	})
+}

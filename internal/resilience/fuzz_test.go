@@ -1,0 +1,42 @@
+package resilience
+
+import (
+	"bytes"
+	"encoding/json"
+	"testing"
+)
+
+// FuzzParse hammers the mitigation-policy decoder: no input may panic,
+// and any accepted policy must be a marshal fixpoint so saved policies
+// reload identically.
+func FuzzParse(f *testing.F) {
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`{"adaptive_checkpoint": true, "min_checkpoint_seconds": 30}`))
+	f.Add([]byte(`{"quarantine": true, "quarantine_threshold": 2, "quarantine_cooldown": 600}`))
+	f.Add([]byte(`{"degraded_output": true, "shed_pressure": 0.5}`))
+	f.Add([]byte(`{"treshold": 1}`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(`{"shed_pressure": 2}`))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		p, err := Parse(data)
+		if err != nil {
+			return
+		}
+		m1, err := json.Marshal(p)
+		if err != nil {
+			t.Fatalf("accepted policy does not marshal: %v", err)
+		}
+		p2, err := Parse(m1)
+		if err != nil {
+			t.Fatalf("marshal of accepted policy does not reparse: %v\npolicy: %s", err, m1)
+		}
+		m2, err := json.Marshal(p2)
+		if err != nil {
+			t.Fatalf("reparsed policy does not marshal: %v", err)
+		}
+		if !bytes.Equal(m1, m2) {
+			t.Fatalf("parse/marshal not a fixpoint:\nfirst:  %s\nsecond: %s", m1, m2)
+		}
+	})
+}

@@ -38,7 +38,7 @@ func TestRemapFoldsLoadsOntoAggregators(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	s.Levels = []*Level{{BA: amr.BoxArray{Boxes: boxes}, DM: amr.DistributionMapping{Owner: owner}}}
+	s.Levels = []*Level{{BA: amr.NewBoxArray(boxes), DM: amr.DistributionMapping{Owner: owner}}}
 	if err := s.remapTargets(); err != nil {
 		t.Fatal(err)
 	}

@@ -46,7 +46,7 @@ func TestRemapFoldsLoadsOntoAggregators(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	r.BAs = []amr.BoxArray{{Boxes: boxes}}
+	r.BAs = []amr.BoxArray{amr.NewBoxArray(boxes)}
 	r.DMs = []amr.DistributionMapping{{Owner: owner}}
 	if err := r.remapTargets(); err != nil {
 		t.Fatal(err)
