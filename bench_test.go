@@ -10,6 +10,7 @@
 package amrproxyio_test
 
 import (
+	"fmt"
 	"runtime"
 	"strings"
 	"sync"
@@ -828,4 +829,180 @@ func BenchmarkHydroStep(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		s.Advance()
 	}
+}
+
+// --- Campaign service layer (streaming consumers + memoized executor) ---
+
+// sweepCase builds one case of the service-layer sweep benches: a small
+// surrogate case, with the index folded into ComputeSeconds so every
+// case carries a distinct fingerprint (the memoized benches need 1000
+// distinct cache entries, not 1000 hits on one).
+func sweepCase(i, maxStep int) campaign.Case {
+	return campaign.Case{
+		Name:           fmt.Sprintf("sweep-%04d", i),
+		NCell:          512,
+		MaxLevel:       1,
+		MaxStep:        maxStep,
+		PlotInt:        2,
+		CFL:            0.5,
+		NProcs:         32,
+		Nodes:          8,
+		Engine:         campaign.EngineSurrogate,
+		ComputeSeconds: float64(i) * 1e-4,
+	}
+}
+
+// liveHeap forces a collection and returns the live heap above base.
+// Callers sample while the per-case state (ledger or fold) is still
+// reachable, so the delta is the case's peak retained footprint.
+func liveHeap(base uint64) uint64 {
+	runtime.GC()
+	var m runtime.MemStats
+	runtime.ReadMemStats(&m)
+	if m.HeapAlloc <= base {
+		return 0
+	}
+	return m.HeapAlloc - base
+}
+
+// BenchmarkCampaignLedgerPeakHeap contrasts the two reduction modes of
+// the streaming subsystem on a step-heavy case: retention materializes
+// the full ledger and reduces it batch-style (O(writes) live heap),
+// streaming attaches a CharacterizeFold and never holds the records
+// (O(steps x ranks) aggregate state). The peak-heap-bytes metrics are
+// the Design 10 memory claim; ledger-records sizes the retained side.
+func BenchmarkCampaignLedgerPeakHeap(b *testing.B) {
+	const maxStep = 240 // ~10k records: the ledger dominates the heap
+	for _, mode := range []string{"retention", "streaming"} {
+		b.Run(mode, func(b *testing.B) {
+			runtime.GC()
+			var base runtime.MemStats
+			runtime.ReadMemStats(&base)
+			var peak uint64
+			var records int
+			for i := 0; i < b.N; i++ {
+				c := sweepCase(i, maxStep)
+				cfg := c.FSConfig(false)
+				cfg.JitterSigma = 0
+				fs := iosim.New(cfg, "")
+				var fold *iosim.CharacterizeFold
+				if mode == "streaming" {
+					fold = iosim.NewCharacterizeFold()
+					fs.Attach(fold)
+				}
+				if _, err := campaign.Run(c, fs); err != nil {
+					b.Fatal(err)
+				}
+				var ledger []iosim.WriteRecord
+				var prof iosim.Characterization
+				if mode == "streaming" {
+					fs.FlushConsumers()
+					prof = fold.Profile()
+				} else {
+					ledger = fs.Ledger()
+					records = len(ledger)
+					prof = iosim.Characterize(ledger)
+				}
+				if prof.TotalBytes == 0 {
+					b.Fatal("empty profile")
+				}
+				if d := liveHeap(base.HeapAlloc); d > peak {
+					peak = d
+				}
+				runtime.KeepAlive(ledger)
+				runtime.KeepAlive(fold)
+				runtime.KeepAlive(fs)
+			}
+			b.ReportMetric(float64(peak), "peak-heap-bytes")
+			if mode == "retention" {
+				b.ReportMetric(float64(records), "ledger-records")
+			}
+		})
+	}
+}
+
+// BenchmarkCampaignSweep1000 pushes 1000 distinct cases through the
+// four service-layer execution modes and reports cases/sec: retention
+// (materialize + batch reduce, the pre-service flow), streaming
+// (attached fold, the serve flow for a cache miss), and the memoized
+// executor cold (every case a miss) and warm (the same 1000 cases
+// re-swept, every case a hit). warm/cold is the memoization claim.
+func BenchmarkCampaignSweep1000(b *testing.B) {
+	const sweep = 1000
+	const maxStep = 24
+	runMode := func(b *testing.B, runCase func(i int)) {
+		b.Helper()
+		start := time.Now()
+		for i := 0; i < b.N; i++ {
+			for j := 0; j < sweep; j++ {
+				runCase(j)
+			}
+		}
+		secs := time.Since(start).Seconds()
+		if secs > 0 {
+			b.ReportMetric(float64(b.N)*sweep/secs, "cases/sec")
+		}
+	}
+	b.Run("retention", func(b *testing.B) {
+		runMode(b, func(j int) {
+			c := sweepCase(j, maxStep)
+			fs := iosim.New(c.FSConfig(false), "")
+			if _, err := campaign.Run(c, fs); err != nil {
+				b.Fatal(err)
+			}
+			if prof := iosim.Characterize(fs.Ledger()); prof.TotalBytes == 0 {
+				b.Fatal("empty profile")
+			}
+		})
+	})
+	b.Run("streaming", func(b *testing.B) {
+		runMode(b, func(j int) {
+			c := sweepCase(j, maxStep)
+			fs := iosim.New(c.FSConfig(false), "")
+			fold := iosim.NewCharacterizeFold()
+			fs.Attach(fold)
+			if _, err := campaign.Run(c, fs); err != nil {
+				b.Fatal(err)
+			}
+			fs.FlushConsumers()
+			if prof := fold.Profile(); prof.TotalBytes == 0 {
+				b.Fatal("empty profile")
+			}
+		})
+	})
+	b.Run("memoized-cold", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			exec := campaign.NewExecutor(1024, false)
+			start := time.Now()
+			for j := 0; j < sweep; j++ {
+				if _, err := exec.RunCase(sweepCase(j, maxStep), 0); err != nil {
+					b.Fatal(err)
+				}
+			}
+			secs := time.Since(start).Seconds()
+			if st := exec.Stats(); st.Misses != sweep {
+				b.Fatalf("cold sweep: %d misses, want %d", st.Misses, sweep)
+			}
+			if secs > 0 {
+				b.ReportMetric(sweep/secs, "cases/sec")
+			}
+		}
+	})
+	b.Run("memoized-warm", func(b *testing.B) {
+		exec := campaign.NewExecutor(1024, false)
+		for j := 0; j < sweep; j++ {
+			if _, err := exec.RunCase(sweepCase(j, maxStep), 0); err != nil {
+				b.Fatal(err)
+			}
+		}
+		runMode(b, func(j int) {
+			out, err := exec.RunCase(sweepCase(j, maxStep), 0)
+			if err != nil {
+				b.Fatal(err)
+			}
+			if !out.Cached {
+				b.Fatalf("warm sweep: case %d missed the cache", j)
+			}
+		})
+	})
 }

@@ -75,21 +75,40 @@
 // forward-progress deltas. Meaningful with -faults (without a fault
 // plan there is nothing to mitigate and the pair is identical); unknown
 // policy fields are rejected before any case runs.
+//
+// -serve addr switches from the one-shot sweep to the campaign service
+// (internal/serve): an HTTP server on addr accepting JSON case batches
+// on POST /run and streaming per-case report JSON back as NDJSON as
+// each case completes, with /healthz and /statz endpoints. Cases run
+// through the memoizing executor — repeated configurations are served
+// from an LRU cache keyed by canonical case fingerprint — on the usual
+// worker pool (-parallel), optionally bounded per case (-case-timeout)
+// and against the per-link model (-topology). SIGTERM/SIGINT drain
+// in-flight batches before exit. The sweep-shaping flags (-quick,
+// -dist, -storage, ...) do not apply in serve mode; clients submit
+// fully-formed cases.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
+	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strings"
 	"sync"
+	"syscall"
+	"time"
 
 	"amrproxyio/internal/campaign"
 	"amrproxyio/internal/faults"
 	"amrproxyio/internal/iosim"
 	"amrproxyio/internal/report"
 	"amrproxyio/internal/resilience"
+	"amrproxyio/internal/serve"
 )
 
 func main() {
@@ -120,7 +139,22 @@ func run() error {
 		"fault-injection plan for every case: inline JSON or a path to a JSON file (see internal/faults)")
 	mitigateArg := flag.String("mitigate", "",
 		"mitigation policy sweep: 'default' enables all policies, or inline JSON / a path to a JSON policy file (see internal/resilience)")
+	serveAddr := flag.String("serve", "",
+		"serve mode: listen on this address (e.g. :8080) for JSON case batches instead of running a sweep")
+	caseTimeout := flag.Duration("case-timeout", 0,
+		"serve mode: per-case wall-clock bound (0 = unbounded)")
+	cacheSize := flag.Int("cache", 0,
+		"serve mode: memoization LRU capacity (0 = default)")
 	flag.Parse()
+
+	if *serveAddr != "" {
+		return runServe(*serveAddr, serve.Options{
+			Parallel:    *parallel,
+			CaseTimeout: *caseTimeout,
+			CacheSize:   *cacheSize,
+			Topology:    *topology,
+		})
+	}
 
 	// An explicit -bbcap must be positive: letting 0 or a negative
 	// capacity flow into the model would silently select the Summit
@@ -380,5 +414,41 @@ func run() error {
 	}
 	fmt.Println()
 	fmt.Println(report.TableIII(results))
+	return nil
+}
+
+// runServe runs the campaign service until SIGTERM/SIGINT, then drains:
+// the HTTP server stops accepting new batches and in-flight batches
+// finish streaming (bounded by a shutdown deadline) before the process
+// exits.
+func runServe(addr string, opts serve.Options) error {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	s := serve.New(opts)
+	srv := &http.Server{Addr: addr, Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() {
+		if err := srv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			errc <- err
+		}
+	}()
+	fmt.Fprintf(os.Stderr, "amrio-campaign: serving on %s\n", addr)
+
+	select {
+	case err := <-errc:
+		return err
+	case <-ctx.Done():
+	}
+	stop() // a second signal kills immediately instead of waiting on the drain
+	fmt.Fprintln(os.Stderr, "amrio-campaign: draining in-flight batches")
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		return fmt.Errorf("shutdown: %w", err)
+	}
+	st := s.Stats()
+	fmt.Fprintf(os.Stderr, "amrio-campaign: drained (%d cases served, %.0f%% cache hits)\n",
+		st.CasesCompleted, 100*st.HitRate)
 	return nil
 }

@@ -1,0 +1,118 @@
+// Serve quickstart: start the campaign service in-process, submit a
+// duplicated three-case batch the way a sweep client would, and watch
+// the NDJSON stream come back one line per completed case — the
+// repeated configuration is served from the fingerprint cache, and
+// /statz accounts for it.
+//
+//	go run ./examples/servequickstart
+//
+// The same flow against the real binary looks like this:
+//
+//	$ go run ./cmd/amrio-campaign -serve 127.0.0.1:8080 -parallel 4 &
+//	amrio-campaign: serving on 127.0.0.1:8080
+//
+//	$ curl -s -X POST --data-binary @batch.json http://127.0.0.1:8080/run
+//	{"index":0,"name":"smoke-a","cached":false,"output":{...}}
+//	{"index":1,"name":"smoke-a","cached":true,"output":{...}}
+//	{"index":2,"name":"smoke-b","cached":false,"output":{...}}
+//
+//	$ curl -s http://127.0.0.1:8080/statz
+//	{
+//	  "hits": 1,
+//	  "misses": 2,
+//	  ...
+//	  "cases_completed": 3
+//	}
+//
+//	$ kill -TERM %1
+//	amrio-campaign: draining in-flight batches
+//	amrio-campaign: drained (3 cases served, 33% cache hits)
+//
+// Lines stream as cases complete: submit a slow hydro case next to a
+// fast surrogate case and the fast line arrives while the hydro case
+// is still stepping (curl -N shows it live).
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"time"
+
+	"amrproxyio/internal/campaign"
+	"amrproxyio/internal/serve"
+)
+
+func main() {
+	// 1. The service: the same internal/serve server amrio-campaign
+	//    -serve wraps, on an ephemeral loopback port.
+	srv := serve.New(serve.Options{Parallel: 2})
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		log.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	base := "http://" + ln.Addr().String()
+	fmt.Println("serving on", base)
+
+	// 2. A batch with a deliberate exact duplicate: same name, same
+	//    configuration. CheckBatch allows it (it is the memoization
+	//    demo); a same-named case with a *different* configuration
+	//    would be rejected with a 400 before any work ran.
+	small := campaign.Case{
+		Name: "demo-a", NCell: 512, MaxLevel: 1, MaxStep: 8, PlotInt: 2,
+		CFL: 0.5, NProcs: 8, Nodes: 2, Engine: campaign.EngineSurrogate,
+	}
+	bigger := small
+	bigger.Name = "demo-b"
+	bigger.MaxStep = 12
+	batch, err := json.Marshal([]campaign.Case{small, small, bigger})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// 3. Submit and read the NDJSON stream line by line, as each case
+	//    completes.
+	resp, err := http.Post(base+"/run", "application/json", bytes.NewReader(batch))
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer resp.Body.Close()
+	fmt.Printf("\nPOST /run -> %s\n", resp.Status)
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		var line serve.CaseLine
+		dec := json.NewDecoder(bytes.NewReader(sc.Bytes()))
+		dec.DisallowUnknownFields()
+		if err := dec.Decode(&line); err != nil {
+			log.Fatal(err)
+		}
+		src := "computed"
+		if line.Cached {
+			src = "cache hit"
+		}
+		fmt.Printf("  case %d %-8s %-9s total bytes %d\n",
+			line.Index, line.Name, src, line.Output.Result.TotalBytes())
+	}
+	if err := sc.Err(); err != nil {
+		log.Fatal(err)
+	}
+
+	// 4. The operations view: hit rate, throughput, in-flight gauges.
+	st := srv.Stats()
+	fmt.Printf("\n/statz: %d hits, %d misses, hit rate %.0f%%, %d cases completed\n",
+		st.Hits, st.Misses, 100*st.HitRate, st.CasesCompleted)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer cancel()
+	if err := hs.Shutdown(ctx); err != nil {
+		log.Fatal(err)
+	}
+}

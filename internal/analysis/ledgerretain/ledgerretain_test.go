@@ -1,0 +1,34 @@
+package ledgerretain_test
+
+import (
+	"testing"
+
+	"amrproxyio/internal/analysis/analysistest"
+	"amrproxyio/internal/analysis/ledgerretain"
+)
+
+func TestFlaggedAndAllowedCases(t *testing.T) {
+	// Two violations (direct and in-expression materialization); the
+	// constructor-free streaming path, the same-named method on another
+	// type, the method expression, and the _test.go call stay clean.
+	diags := analysistest.Run(t, ledgerretain.Analyzer, "testdata/src/flagged")
+	if len(diags) != 2 {
+		t.Fatalf("got %d diagnostics, want 2", len(diags))
+	}
+}
+
+func TestScopeCoversStreamingPaths(t *testing.T) {
+	// The scope is part of the contract: serve and the memoizing
+	// campaign executor must never materialize a ledger.
+	for _, pkg := range []string{"amrproxyio/internal/serve", "amrproxyio/internal/campaign", "amrproxyio/internal/report"} {
+		found := false
+		for _, p := range ledgerretain.Packages {
+			if p == pkg {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("package %s missing from ledgerretain scope", pkg)
+		}
+	}
+}

@@ -1,0 +1,36 @@
+// Package flagged seeds ledgerretain violations against the real
+// iosim.FileSystem, so the receiver-type matching is tested against the
+// genuine article rather than a look-alike.
+package flagged
+
+import "amrproxyio/internal/iosim"
+
+// Direct materialization: the canonical violation.
+func Materialize(fs *iosim.FileSystem) []iosim.WriteRecord {
+	return fs.Ledger() // want `FileSystem.Ledger\(\) in a streaming path`
+}
+
+// Hidden in an expression: still a violation.
+func Count(fs *iosim.FileSystem) int {
+	return len(fs.Ledger()) // want `FileSystem.Ledger\(\) in a streaming path`
+}
+
+// Streaming path: allowed.
+func Stream(fs *iosim.FileSystem, c iosim.LedgerConsumer) {
+	fs.Attach(c)
+	fs.FlushConsumers()
+}
+
+// A method merely named Ledger on another type is fine — only the
+// FileSystem receiver is the violation.
+type fakeLedgerHolder struct{}
+
+func (fakeLedgerHolder) Ledger() []iosim.WriteRecord { return nil }
+
+func OtherLedger(h fakeLedgerHolder) []iosim.WriteRecord {
+	return h.Ledger()
+}
+
+// Method value reference without a call is out of scope for the
+// analyzer (it flags call sites); keep one here to pin that choice.
+var ledgerFn = (*iosim.FileSystem).Ledger

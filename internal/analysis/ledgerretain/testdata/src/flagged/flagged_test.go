@@ -1,0 +1,10 @@
+package flagged
+
+import "amrproxyio/internal/iosim"
+
+// Test files are exempt: the fold-vs-batch equivalence pins compare
+// streamed folds against Ledger() on purpose. No want comment — this
+// call must stay unflagged.
+func batchBaselineForTests(fs *iosim.FileSystem) []iosim.WriteRecord {
+	return fs.Ledger()
+}

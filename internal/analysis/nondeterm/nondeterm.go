@@ -22,8 +22,10 @@ import (
 // because its job includes measuring real elapsed wall time for RunAll.
 var Packages = []string{"amrproxyio/internal"}
 
-// Exempt lists subtrees inside Packages the analyzer skips.
-var Exempt = []string{"amrproxyio/internal/campaign"}
+// Exempt lists subtrees inside Packages the analyzer skips. serve is
+// exempt for the same reason as campaign: its /statz throughput and
+// uptime numbers measure real wall-clock time by design.
+var Exempt = []string{"amrproxyio/internal/campaign", "amrproxyio/internal/serve"}
 
 // seededConstructors are the math/rand entry points that take an explicit
 // source or seed — the allowed, reproducible path.

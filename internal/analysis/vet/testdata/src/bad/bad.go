@@ -1,6 +1,6 @@
 // Package bad is the known-bad smoke fixture for the amrio-vet driver
-// tests: it violates two different analyzers (nondeterm, boxarraylit)
-// so a passing run proves the suite is actually wired in.
+// tests: it violates three different analyzers (nondeterm, boxarraylit,
+// ledgerretain) so a passing run proves the suite is actually wired in.
 package bad
 
 import (
@@ -8,6 +8,7 @@ import (
 
 	"amrproxyio/internal/amr"
 	"amrproxyio/internal/grid"
+	"amrproxyio/internal/iosim"
 )
 
 // Stamp uses wall-clock time in simulation-scoped code.
@@ -18,4 +19,10 @@ func Stamp() int64 {
 // RawBoxArray bypasses NewBoxArray, leaving the lazy index holder nil.
 func RawBoxArray(boxes []grid.Box) amr.BoxArray {
 	return amr.BoxArray{Boxes: boxes}
+}
+
+// MaterializeLedger rematerializes the full write ledger in a
+// streaming-scoped path.
+func MaterializeLedger(fs *iosim.FileSystem) []iosim.WriteRecord {
+	return fs.Ledger()
 }

@@ -15,6 +15,7 @@ import (
 	"amrproxyio/internal/analysis"
 	"amrproxyio/internal/analysis/boxarraylit"
 	"amrproxyio/internal/analysis/jsonstrict"
+	"amrproxyio/internal/analysis/ledgerretain"
 	"amrproxyio/internal/analysis/lockedalloc"
 	"amrproxyio/internal/analysis/maprangefloat"
 	"amrproxyio/internal/analysis/nondeterm"
@@ -26,6 +27,7 @@ func Analyzers() []*analysis.Analyzer {
 	return []*analysis.Analyzer{
 		boxarraylit.Analyzer,
 		jsonstrict.Analyzer,
+		ledgerretain.Analyzer,
 		lockedalloc.Analyzer,
 		maprangefloat.Analyzer,
 		nondeterm.Analyzer,

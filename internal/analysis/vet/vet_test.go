@@ -11,7 +11,7 @@ import (
 // TestSuiteRegistersAllAnalyzers pins the suite roster: every invariant
 // analyzer must be wired into the driver, with unique names.
 func TestSuiteRegistersAllAnalyzers(t *testing.T) {
-	want := []string{"boxarraylit", "jsonstrict", "lockedalloc", "maprangefloat", "nondeterm"}
+	want := []string{"boxarraylit", "jsonstrict", "ledgerretain", "lockedalloc", "maprangefloat", "nondeterm"}
 	got := vet.Analyzers()
 	if len(got) != len(want) {
 		t.Fatalf("suite has %d analyzers, want %d", len(got), len(want))
@@ -51,7 +51,7 @@ func TestHandshakeModes(t *testing.T) {
 }
 
 // TestStandaloneFlagsKnownBadFixture runs the driver end to end against
-// the seeded-violation package and checks both analyzers fire.
+// the seeded-violation package and checks all seeded analyzers fire.
 func TestStandaloneFlagsKnownBadFixture(t *testing.T) {
 	var out, errw bytes.Buffer
 	code := vet.Main([]string{"./testdata/src/bad"}, &out, &errw)
@@ -64,6 +64,9 @@ func TestStandaloneFlagsKnownBadFixture(t *testing.T) {
 	}
 	if !strings.Contains(text, "BoxArray") {
 		t.Errorf("boxarraylit diagnostic missing from output:\n%s", text)
+	}
+	if !strings.Contains(text, "Ledger()") {
+		t.Errorf("ledgerretain diagnostic missing from output:\n%s", text)
 	}
 }
 

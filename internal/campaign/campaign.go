@@ -300,6 +300,30 @@ type RunOption func(*runOptions)
 
 type runOptions struct {
 	caseTimeout time.Duration
+	executor    *Executor
+	onOutput    func(i int, out CaseOutput, err error)
+}
+
+// WithExecutor routes every case through a memoizing Executor: repeated
+// configurations (same canonical fingerprint) are served from its LRU
+// instead of the simulator, and concurrent duplicates within the batch
+// share one simulation. The executor's withTopology setting decides the
+// FSConfig, so WithExecutor supersedes RunAll's newFS argument (pass
+// nil). The serve layer and warm sweeps build on this.
+func WithExecutor(e *Executor) RunOption {
+	return func(o *runOptions) { o.executor = e }
+}
+
+// WithOutputs registers a per-case completion hook: called once per
+// case, from the worker goroutine that finished it, with the case's
+// index, its output, and its error. Completion order is whatever the
+// pool produces — the hook is for streaming consumers (the serve
+// layer's NDJSON writer) that want results as they land rather than
+// when the whole batch returns. Without WithExecutor the output carries
+// only the Result (no streamed folds, never Cached). The hook must be
+// safe for concurrent calls when parallelism > 1.
+func WithOutputs(fn func(i int, out CaseOutput, err error)) RunOption {
+	return func(o *runOptions) { o.onOutput = fn }
 }
 
 // WithCaseTimeout bounds each case's wall-clock run time: a case still
@@ -363,7 +387,17 @@ func RunAll(cases []Case, parallelism int, newFS func(Case) *iosim.FileSystem, o
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				results[i], errs[i] = runCase(cases[i], newFS, opt.caseTimeout)
+				var out CaseOutput
+				if opt.executor != nil {
+					out, errs[i] = opt.executor.RunCase(cases[i], opt.caseTimeout)
+					results[i] = out.Result
+				} else {
+					results[i], errs[i] = runCase(cases[i], newFS, opt.caseTimeout)
+					out = CaseOutput{Result: results[i]}
+				}
+				if opt.onOutput != nil {
+					opt.onOutput(i, out, errs[i])
+				}
 			}
 		}()
 	}
@@ -383,14 +417,27 @@ func runCase(c Case, newFS func(Case) *iosim.FileSystem, timeout time.Duration) 
 	if err := c.Validate(); err != nil {
 		return Result{Case: c, Engine: c.engineFor()}, err
 	}
-	run := func() (res Result, err error) {
+	return runBounded(c.Name, timeout,
+		func() (Result, error) { return Run(c, newFS(c)) },
+		func() Result { return Result{Case: c, Engine: c.engineFor()} },
+		func() Result { return Result{Case: c, Engine: c.engineFor(), Abandoned: true} })
+}
+
+// runBounded is the shared defensive envelope for anything that runs a
+// case: panics are recovered into onPanic's fallback value, and with
+// timeout > 0 a case still running after the deadline returns
+// onTimeout's fallback while the stuck goroutine is counted in
+// AbandonedInFlight until it finishes. runCase and the memoizing
+// Executor both run inside it.
+func runBounded[T any](name string, timeout time.Duration, work func() (T, error), onPanic, onTimeout func() T) (T, error) {
+	run := func() (out T, err error) {
 		defer func() {
 			if r := recover(); r != nil {
-				res = Result{Case: c, Engine: c.engineFor()}
-				err = fmt.Errorf("campaign %s: panic: %v", c.Name, r)
+				out = onPanic()
+				err = fmt.Errorf("campaign %s: panic: %v", name, r)
 			}
 		}()
-		return Run(c, newFS(c))
+		return work()
 	}
 	if timeout <= 0 {
 		return run()
@@ -399,19 +446,19 @@ func runCase(c Case, newFS func(Case) *iosim.FileSystem, timeout time.Duration) 
 	// variables: after a timeout the abandoned goroutine's send must not
 	// race the caller.
 	type outcome struct {
-		res Result
+		out T
 		err error
 	}
 	done := make(chan outcome, 1)
 	go func() {
-		res, err := run()
-		done <- outcome{res, err}
+		out, err := run()
+		done <- outcome{out, err}
 	}()
 	timer := time.NewTimer(timeout)
 	defer timer.Stop()
 	select {
 	case o := <-done:
-		return o.res, o.err
+		return o.out, o.err
 	case <-timer.C:
 		// Count the goroutine we are abandoning, and drain its (exactly
 		// one, buffered) send when it eventually finishes so the count
@@ -421,8 +468,7 @@ func runCase(c Case, newFS func(Case) *iosim.FileSystem, timeout time.Duration) 
 			<-done
 			abandonedInFlight.Add(-1)
 		}()
-		return Result{Case: c, Engine: c.engineFor(), Abandoned: true},
-			fmt.Errorf("campaign %s: case timed out after %s", c.Name, timeout)
+		return onTimeout(), fmt.Errorf("campaign %s: case timed out after %s", name, timeout)
 	}
 }
 

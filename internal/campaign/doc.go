@@ -48,4 +48,32 @@
 // the rank→storage-target fan-in before every dump — effective only
 // when the case runs against a target-modeling topology with more
 // writing ranks than targets.
+//
+// # Fingerprints and the memoizing executor
+//
+// Fingerprint(c, withTopology) is the canonical identity of a validated
+// case: the case is normalized (Name zeroed — labels don't change
+// physics; Engine resolved through the same auto rule Run uses;
+// Dist/Storage defaults made explicit), marshaled to canonical JSON,
+// salted with the topology flag, and SHA-256 hashed. Normalization only
+// collapses differences Run provably ignores; when in doubt a false
+// distinction (cache miss) is chosen over a false equality (wrong
+// result served from cache). A reflection test walks every Case field
+// and fails if perturbing it doesn't change the fingerprint, so new
+// fields cannot silently alias cache entries.
+//
+// Executor wraps Run with an LRU memo keyed by fingerprint:
+// RunCase(c, timeout) returns a cached CaseOutput (result, burst stats,
+// and I/O profile, Cached=true) for a repeated configuration, and
+// coalesces concurrent identical cases into a single simulation
+// (single-flight; joiners get the same output). Simulations run against
+// a streaming CharacterizeFold — the executor never materializes a
+// ledger. Errors are never cached; timeouts use the same
+// abandon-and-account machinery as runCase (AbandonedInFlight).
+// RunAll(..., WithExecutor(e)) routes the worker pool through the memo,
+// WithOutputs streams each case's CaseOutput as it completes (the
+// service layer's NDJSON seam), and CheckBatch rejects batches that
+// reuse a case name for a different configuration before any work runs.
+// The campaign HTTP service built on these seams lives in
+// internal/serve.
 package campaign

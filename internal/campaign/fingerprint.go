@@ -1,0 +1,64 @@
+package campaign
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// Case-fingerprint canon (Design 10): two cases that run the same
+// simulation must hash to the same fingerprint, and any case change
+// that could change the output must change it. The canon is the
+// case's own JSON encoding after normalizing the fields where distinct
+// spellings mean the same run:
+//
+//   - Name is zeroed — it labels the row, it never reaches the engines.
+//   - Engine is resolved (EngineAuto / "" → the NCell-based choice), so
+//     an explicit "hydro" and an auto-resolved hydro share an entry.
+//   - Dist "" resolves to the knapsack default, Storage "" to the
+//     single-tier "gpfs" model — the documented equivalences.
+//
+// Everything else hashes as-is, including the pointer-valued plans
+// (faults, mitigation, aggregation): a nil plan and a zero-valued plan
+// price writes identically, but they fingerprint differently — a
+// deliberate bias. A false distinction costs one redundant simulation;
+// a false equality silently serves the wrong result.
+//
+// JSON is a safe canon here because encoding/json emits struct fields
+// in declaration order with deterministic scalar encodings, and every
+// Case field is tagged. The reflection guard in fingerprint_test.go
+// fails the build-out if a future field dodges the encoding
+// (json:"-" or unexported) without being folded in here explicitly.
+
+// fingerprintPayload wraps the normalized case with the run-shape bits
+// that live outside the Case struct but change the ledger: whether the
+// filesystem prices against the case's topology.
+type fingerprintPayload struct {
+	Case     Case `json:"case"`
+	Topology bool `json:"topology"`
+}
+
+// Fingerprint returns the canonical hex-encoded SHA-256 cache key for a
+// validated case. withTopology must match the FSConfig the case will
+// run against — the same case on the aggregate and per-link models
+// produces different ledgers, so it gets different keys. Callers are
+// expected to Validate first (the Executor does); Fingerprint itself
+// only fails if the case cannot be encoded (e.g. a NaN CFL).
+func Fingerprint(c Case, withTopology bool) (string, error) {
+	n := c
+	n.Name = ""
+	n.Engine = c.engineFor()
+	if n.Dist == DistDefault {
+		n.Dist = DistKnapsack
+	}
+	if n.Storage == StorageDefault {
+		n.Storage = StorageGPFS
+	}
+	data, err := json.Marshal(fingerprintPayload{Case: n, Topology: withTopology})
+	if err != nil {
+		return "", fmt.Errorf("campaign %s: fingerprint: %w", c.Name, err)
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:]), nil
+}

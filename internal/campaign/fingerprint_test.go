@@ -1,0 +1,120 @@
+package campaign
+
+import (
+	"reflect"
+	"testing"
+
+	"amrproxyio/internal/faults"
+	"amrproxyio/internal/iosim"
+	"amrproxyio/internal/resilience"
+)
+
+func mustFP(t *testing.T, c Case, topo bool) string {
+	t.Helper()
+	fp, err := Fingerprint(c, topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fp
+}
+
+// TestFingerprintCompleteness is the stale-cache guard: it walks every
+// field of Case by reflection, perturbs it, and requires the
+// fingerprint to change — except Name, which is a row label and must
+// NOT change it. Adding a Case field that dodges the JSON canon
+// (json:"-", or a kind this test cannot perturb) fails here until the
+// field is folded into the fingerprint and this test deliberately.
+func TestFingerprintCompleteness(t *testing.T) {
+	base := Case{
+		Name: "fp", NCell: 64, MaxLevel: 1, MaxStep: 4, PlotInt: 2,
+		CFL: 0.5, NProcs: 4, Nodes: 2,
+	}
+	baseFP := mustFP(t, base, false)
+
+	// Perturbation values for the named struct-pointer fields; a new
+	// pointer field needs an entry here (and that's the point).
+	pointerPerturb := map[string]any{
+		"Faults":      &faults.Plan{MTBFSeconds: 100, Seed: 3},
+		"Mitigate":    &resilience.Policy{AdaptiveCheckpoint: true},
+		"Aggregation": &iosim.AggregationSpec{Aggregators: "1/node"},
+	}
+
+	typ := reflect.TypeOf(base)
+	for i := 0; i < typ.NumField(); i++ {
+		field := typ.Field(i)
+		if tag := field.Tag.Get("json"); tag == "-" {
+			t.Errorf("field %s is excluded from the JSON canon; fold it into Fingerprint and update this test", field.Name)
+			continue
+		}
+		c := base
+		v := reflect.ValueOf(&c).Elem().Field(i)
+		switch field.Type.Kind() {
+		case reflect.String:
+			v.SetString("perturbed-value")
+		case reflect.Int:
+			v.SetInt(v.Int() + 7)
+		case reflect.Float64:
+			v.SetFloat(v.Float() + 0.125)
+		case reflect.Bool:
+			v.SetBool(!v.Bool())
+		case reflect.Ptr:
+			p, ok := pointerPerturb[field.Name]
+			if !ok {
+				t.Errorf("no perturbation for pointer field %s; add one so the fingerprint guard covers it", field.Name)
+				continue
+			}
+			v.Set(reflect.ValueOf(p))
+		default:
+			t.Errorf("field %s has kind %s this guard cannot perturb; extend the test", field.Name, field.Type.Kind())
+			continue
+		}
+		got := mustFP(t, c, false)
+		if field.Name == "Name" {
+			if got != baseFP {
+				t.Errorf("Name must not enter the fingerprint: %s != %s", got, baseFP)
+			}
+			continue
+		}
+		if got == baseFP {
+			t.Errorf("perturbing %s did not change the fingerprint — stale-cache hazard", field.Name)
+		}
+	}
+}
+
+func TestFingerprintNormalization(t *testing.T) {
+	base := Case{Name: "a", NCell: 64, MaxStep: 4, PlotInt: 2, CFL: 0.5, NProcs: 4}
+	fp := mustFP(t, base, false)
+
+	// The documented equivalences share an entry.
+	auto := base
+	auto.Engine = EngineAuto
+	if got := mustFP(t, auto, false); got != fp {
+		t.Error("EngineAuto and \"\" must fingerprint identically")
+	}
+	explicit := base
+	explicit.Engine = EngineHydro // NCell 64 auto-resolves to hydro
+	if got := mustFP(t, explicit, false); got != fp {
+		t.Error("auto-resolved and explicit hydro must fingerprint identically")
+	}
+	knap := base
+	knap.Dist = DistKnapsack
+	if got := mustFP(t, knap, false); got != fp {
+		t.Error("DistDefault and DistKnapsack must fingerprint identically")
+	}
+	gpfs := base
+	gpfs.Storage = StorageGPFS
+	if got := mustFP(t, gpfs, false); got != fp {
+		t.Error("StorageDefault and StorageGPFS must fingerprint identically")
+	}
+
+	// The topology salt separates aggregate and per-link runs.
+	if got := mustFP(t, base, true); got == fp {
+		t.Error("withTopology must change the fingerprint")
+	}
+	// Above the hydro limit, auto resolves to the surrogate: different run.
+	big := base
+	big.NCell = HydroCellLimit * 2
+	if got := mustFP(t, big, false); got == fp {
+		t.Error("different NCell must change the fingerprint")
+	}
+}

@@ -1,0 +1,152 @@
+package campaign_test
+
+import (
+	"reflect"
+	"testing"
+
+	"amrproxyio/internal/campaign"
+	"amrproxyio/internal/faults"
+	"amrproxyio/internal/iosim"
+	"amrproxyio/internal/report"
+)
+
+// Fold-vs-batch equivalence pins (Design 10): the same case run twice —
+// once retaining the full ledger and reducing after the fact, once
+// streaming into attached folds with the ledger dropped burst by burst —
+// must produce DeepEqual characterizations, burst stats, and report
+// summaries, across every storage stack, with and without topology,
+// aggregation, and fault injection. The streaming run's filesystem must
+// finish with an empty ledger: that emptiness is the memory claim.
+
+type foldVariant struct {
+	name string
+	topo bool
+	mut  func(*campaign.Case)
+}
+
+func foldVariants() []foldVariant {
+	plan := &faults.Plan{
+		Events: []faults.Event{
+			{Kind: faults.KindTargetOutage, Start: 0.01, End: 10, Target: 1},
+			{Kind: faults.KindNICDegrade, Start: 0, End: 20, Node: 3, Factor: 0.25},
+			{Kind: faults.KindBBLoss, Start: 0.5, Node: 0},
+		},
+		MTBFSeconds: 50,
+		Seed:        9,
+	}
+	return []foldVariant{
+		{"default-aggregate", false, func(c *campaign.Case) {}},
+		{"gpfs-topology", true, func(c *campaign.Case) { c.Storage = campaign.StorageGPFS }},
+		{"bb-topology", true, func(c *campaign.Case) { c.Storage = campaign.StorageBB }},
+		{"tiered-topology", true, func(c *campaign.Case) { c.Storage = campaign.StorageTiered }},
+		{"tiered-aggregation", true, func(c *campaign.Case) {
+			c.Storage = campaign.StorageTiered
+			c.Aggregation = &iosim.AggregationSpec{Aggregators: "2/node"}
+		}},
+		{"gpfs-faults", true, func(c *campaign.Case) {
+			c.Storage = campaign.StorageGPFS
+			c.Faults = plan
+		}},
+		{"tiered-aggregation-faults", true, func(c *campaign.Case) {
+			c.Storage = campaign.StorageTiered
+			c.Aggregation = &iosim.AggregationSpec{Aggregators: "2/node"}
+			c.Faults = plan
+			c.ComputeSeconds = 0.2
+		}},
+	}
+}
+
+// runBoth executes the case through the batch and streaming paths and
+// returns the streamed folds plus the batch ledger.
+func runBoth(t *testing.T, c campaign.Case, topo bool) (
+	char *iosim.CharacterizeFold, sum *report.SummaryFold, ledger []iosim.WriteRecord) {
+	t.Helper()
+
+	batchFS := iosim.New(c.FSConfig(topo), "")
+	if _, err := campaign.Run(c, batchFS); err != nil {
+		t.Fatal(err)
+	}
+	ledger = batchFS.Ledger()
+	if len(ledger) == 0 {
+		t.Fatal("batch run produced no records — variant exercises nothing")
+	}
+
+	streamFS := iosim.New(c.FSConfig(topo), "") // RetainAuto + consumers → drop
+	char = iosim.NewCharacterizeFold()
+	sum = report.NewSummaryFold()
+	streamFS.Attach(char, sum)
+	if _, err := campaign.Run(c, streamFS); err != nil {
+		t.Fatal(err)
+	}
+	streamFS.FlushConsumers()
+	if got := len(streamFS.Ledger()); got != 0 {
+		t.Errorf("streaming run retained %d records; RetainAuto with consumers must drop them", got)
+	}
+	if streamFS.TotalBytes() != batchFS.TotalBytes() {
+		t.Errorf("TotalBytes diverged: stream %d, batch %d", streamFS.TotalBytes(), batchFS.TotalBytes())
+	}
+	return char, sum, ledger
+}
+
+func TestFoldEquivalenceSurrogate(t *testing.T) {
+	base := campaign.Case{
+		Name: "foldeq", NCell: 4096, MaxLevel: 2, MaxStep: 6, PlotInt: 2,
+		CFL: 0.5, NProcs: 128, Nodes: 32, Engine: campaign.EngineSurrogate,
+	}
+	for _, v := range foldVariants() {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			t.Parallel()
+			c := base
+			v.mut(&c)
+			if err := c.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			char, sum, ledger := runBoth(t, c, v.topo)
+
+			if got, want := char.Profile(), iosim.Characterize(ledger); !reflect.DeepEqual(got, want) {
+				t.Errorf("characterization fold != batch\nfold:  %+v\nbatch: %+v", got, want)
+			}
+			if got, want := char.Bursts(), iosim.BurstStats(ledger); !reflect.DeepEqual(got, want) {
+				t.Errorf("burst stats fold != batch\nfold:  %+v\nbatch: %+v", got, want)
+			}
+			if got, want := sum.Dist("d"), report.SummarizeDist("d", ledger); !reflect.DeepEqual(got, want) {
+				t.Errorf("dist summary fold != batch\nfold:  %+v\nbatch: %+v", got, want)
+			}
+			if got, want := sum.Storage("s"), report.SummarizeStorage("s", ledger); !reflect.DeepEqual(got, want) {
+				t.Errorf("storage summary fold != batch\nfold:  %+v\nbatch: %+v", got, want)
+			}
+			if got, want := sum.Aggregation("a"), report.SummarizeAggregation("a", ledger); !reflect.DeepEqual(got, want) {
+				t.Errorf("aggregation summary fold != batch\nfold:  %+v\nbatch: %+v", got, want)
+			}
+		})
+	}
+}
+
+// TestFoldEquivalenceHydro covers the full-solver engine and the
+// plotfile writer path (directory/metadata records included) on the
+// aggregate and topology models.
+func TestFoldEquivalenceHydro(t *testing.T) {
+	base := campaign.Case{
+		Name: "foldeqh", NCell: 32, MaxLevel: 1, MaxStep: 4, PlotInt: 2,
+		CFL: 0.5, NProcs: 4, Nodes: 2, Engine: campaign.EngineHydro,
+	}
+	for _, v := range []foldVariant{
+		{"aggregate", false, func(c *campaign.Case) {}},
+		{"tiered-topology", true, func(c *campaign.Case) { c.Storage = campaign.StorageTiered }},
+	} {
+		v := v
+		t.Run(v.name, func(t *testing.T) {
+			t.Parallel()
+			c := base
+			v.mut(&c)
+			char, sum, ledger := runBoth(t, c, v.topo)
+			if got, want := char.Profile(), iosim.Characterize(ledger); !reflect.DeepEqual(got, want) {
+				t.Errorf("characterization fold != batch\nfold:  %+v\nbatch: %+v", got, want)
+			}
+			if got, want := sum.Storage("s"), report.SummarizeStorage("s", ledger); !reflect.DeepEqual(got, want) {
+				t.Errorf("storage summary fold != batch\nfold:  %+v\nbatch: %+v", got, want)
+			}
+		})
+	}
+}

@@ -1,0 +1,273 @@
+package campaign
+
+import (
+	"container/list"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"amrproxyio/internal/iosim"
+)
+
+// Memoizing case executor (Design 10): sweeps and the serve layer hit
+// the same configurations over and over (the Hercule lesson — result
+// reuse, not raw bandwidth, dominates at scale). The Executor keys an
+// LRU cache of completed CaseOutputs by canonical Fingerprint, with
+// single-flight de-duplication so concurrent requests for the same
+// configuration run one simulation and share the result. Cases run
+// through streaming folds (RetainAuto + attached consumers drops the
+// ledger burst by burst), so a cached entry holds per-step aggregates,
+// not millions of records.
+
+// CaseOutput is one memoizable unit of work: the run result plus the
+// streamed reductions every report path needs, keyed by fingerprint.
+type CaseOutput struct {
+	Result      Result                 `json:"result"`
+	Bursts      []iosim.BurstStat      `json:"bursts"`
+	Profile     iosim.Characterization `json:"profile"`
+	Fingerprint string                 `json:"fingerprint"`
+	// Cached marks an output served from the LRU (or joined onto
+	// another caller's in-flight run) instead of a fresh simulation.
+	Cached bool `json:"cached"`
+}
+
+// ExecStats is a point-in-time snapshot of the executor's counters.
+type ExecStats struct {
+	Hits      uint64 `json:"hits"`
+	Misses    uint64 `json:"misses"`
+	Errors    uint64 `json:"errors"`
+	Abandoned uint64 `json:"abandoned"`
+	InFlight  int    `json:"in_flight"`
+	Size      int    `json:"cache_size"`
+	Cap       int    `json:"cache_cap"`
+}
+
+// HitRate is hits over lookups; 0 before the first lookup.
+func (s ExecStats) HitRate() float64 {
+	if total := s.Hits + s.Misses; total > 0 {
+		return float64(s.Hits) / float64(total)
+	}
+	return 0
+}
+
+// memoEntry is one LRU slot. The stored canon guards against a
+// (cosmically unlikely, but cheap to rule out) SHA-256 collision and
+// against an injected test digest colliding on purpose.
+type memoEntry struct {
+	fp    string
+	canon Case
+	out   CaseOutput
+}
+
+// flight is one in-progress computation other callers can join.
+type flight struct {
+	done chan struct{}
+	out  CaseOutput
+	err  error
+}
+
+// Executor runs cases through the memoization layer. The zero value is
+// not usable; construct with NewExecutor.
+type Executor struct {
+	topo bool
+	cap  int
+
+	mu      sync.Mutex
+	lru     *list.List // front = most recent; values are *memoEntry
+	byFP    map[string]*list.Element
+	flights map[string]*flight
+
+	hits      atomic.Uint64
+	misses    atomic.Uint64
+	errs      atomic.Uint64
+	abandoned atomic.Uint64
+	inFlight  atomic.Int64
+
+	// digest is Fingerprint unless a test injects a colliding stand-in.
+	digest func(Case, bool) (string, error)
+}
+
+// NewExecutor returns an executor caching up to capacity outputs.
+// capacity < 1 selects a default sized for sweep workloads. withTopology
+// selects the FSConfig every case runs against (and salts the keys).
+func NewExecutor(capacity int, withTopology bool) *Executor {
+	if capacity < 1 {
+		capacity = 1024
+	}
+	return &Executor{
+		topo:    withTopology,
+		cap:     capacity,
+		lru:     list.New(),
+		byFP:    map[string]*list.Element{},
+		flights: map[string]*flight{},
+		digest:  Fingerprint,
+	}
+}
+
+// Stats snapshots the counters.
+func (e *Executor) Stats() ExecStats {
+	e.mu.Lock()
+	size := e.lru.Len()
+	e.mu.Unlock()
+	return ExecStats{
+		Hits:      e.hits.Load(),
+		Misses:    e.misses.Load(),
+		Errors:    e.errs.Load(),
+		Abandoned: e.abandoned.Load(),
+		InFlight:  int(e.inFlight.Load()),
+		Size:      size,
+		Cap:       e.cap,
+	}
+}
+
+// RunCase executes one case through the cache: a hit returns the stored
+// output with Cached set; a miss simulates under the usual defensive
+// envelope (Validate, panic recovery, optional timeout) and stores the
+// output on success. Concurrent misses on the same fingerprint share a
+// single simulation. timeout <= 0 disables the per-case bound.
+func (e *Executor) RunCase(c Case, timeout time.Duration) (CaseOutput, error) {
+	if err := c.Validate(); err != nil {
+		return CaseOutput{Result: Result{Case: c, Engine: c.engineFor()}}, err
+	}
+	fp, err := e.digest(c, e.topo)
+	if err != nil {
+		return CaseOutput{Result: Result{Case: c, Engine: c.engineFor()}}, err
+	}
+
+	e.mu.Lock()
+	if el, ok := e.byFP[fp]; ok {
+		ent := el.Value.(*memoEntry)
+		if !equivalent(ent.canon, c) {
+			// Fingerprint collision between distinct configurations:
+			// serving the stored result would be silently wrong. Fail
+			// loudly instead; with SHA-256 this is test-injection only.
+			e.mu.Unlock()
+			e.errs.Add(1)
+			return CaseOutput{Result: Result{Case: c, Engine: c.engineFor()}, Fingerprint: fp},
+				fmt.Errorf("campaign %s: fingerprint collision on %s", c.Name, fp[:12])
+		}
+		e.lru.MoveToFront(el)
+		out := ent.out
+		e.mu.Unlock()
+		e.hits.Add(1)
+		out.Cached = true
+		out.Result.Case.Name = c.Name // keep the caller's row label
+		return out, nil
+	}
+	if f, ok := e.flights[fp]; ok {
+		e.mu.Unlock()
+		<-f.done
+		if f.err != nil {
+			// The computing caller reported the failure; joiners surface
+			// it too but don't double-count it in the error stats.
+			return f.out, f.err
+		}
+		e.hits.Add(1)
+		out := f.out
+		out.Cached = true
+		out.Result.Case.Name = c.Name
+		return out, nil
+	}
+	f := &flight{done: make(chan struct{})}
+	e.flights[fp] = f
+	e.mu.Unlock()
+
+	e.misses.Add(1)
+	e.inFlight.Add(1)
+	out, err := e.simulate(c, fp, timeout)
+	e.inFlight.Add(-1)
+
+	f.out, f.err = out, err
+	e.mu.Lock()
+	delete(e.flights, fp)
+	if err == nil {
+		e.insert(fp, c, out)
+	}
+	e.mu.Unlock()
+	close(f.done)
+
+	if err != nil {
+		if out.Result.Abandoned {
+			e.abandoned.Add(1)
+		}
+		e.errs.Add(1)
+	}
+	return out, err
+}
+
+// simulate is the uncached path: one fresh filesystem with streaming
+// folds attached, run under the shared defensive envelope.
+func (e *Executor) simulate(c Case, fp string, timeout time.Duration) (CaseOutput, error) {
+	work := func() (CaseOutput, error) {
+		char := iosim.NewCharacterizeFold()
+		fs := iosim.New(c.FSConfig(e.topo), "")
+		fs.Attach(char) // RetainAuto + consumer: records drop burst by burst
+		res, err := Run(c, fs)
+		if err != nil {
+			return CaseOutput{Result: res, Fingerprint: fp}, err
+		}
+		fs.FlushConsumers()
+		return CaseOutput{
+			Result:      res,
+			Bursts:      char.Bursts(),
+			Profile:     char.Profile(),
+			Fingerprint: fp,
+		}, nil
+	}
+	fallback := func(abandoned bool) CaseOutput {
+		return CaseOutput{
+			Result:      Result{Case: c, Engine: c.engineFor(), Abandoned: abandoned},
+			Fingerprint: fp,
+		}
+	}
+	return runBounded(c.Name, timeout, work,
+		func() CaseOutput { return fallback(false) },
+		func() CaseOutput { return fallback(true) })
+}
+
+// insert stores an output, evicting from the LRU tail. Caller holds mu.
+func (e *Executor) insert(fp string, canon Case, out CaseOutput) {
+	out.Cached = false
+	e.byFP[fp] = e.lru.PushFront(&memoEntry{fp: fp, canon: canon, out: out})
+	for e.lru.Len() > e.cap {
+		el := e.lru.Back()
+		e.lru.Remove(el)
+		delete(e.byFP, el.Value.(*memoEntry).fp)
+	}
+}
+
+// CheckBatch validates a batch for the memoized pool: every case must
+// Validate, and two cases sharing a Name must also share a fingerprint.
+// Exact duplicates are fine — de-duplicating them is the cache's job —
+// but one label mapping to two distinct configurations means the
+// submitter holds two different expectations for the same output row,
+// and serving either would silently betray one of them. withTopology
+// must match the executor the batch will run on.
+func CheckBatch(cases []Case, withTopology bool) error {
+	byName := map[string]string{}
+	for i, c := range cases {
+		if err := c.Validate(); err != nil {
+			return fmt.Errorf("case %d: %w", i, err)
+		}
+		fp, err := Fingerprint(c, withTopology)
+		if err != nil {
+			return fmt.Errorf("case %d: %w", i, err)
+		}
+		if prev, ok := byName[c.Name]; ok && prev != fp {
+			return fmt.Errorf("case %d: duplicate name %q with a different configuration (fingerprints %s vs %s)",
+				i, c.Name, prev[:12], fp[:12])
+		}
+		byName[c.Name] = fp
+	}
+	return nil
+}
+
+// equivalent reports whether two cases are the same configuration under
+// the fingerprint canon — the collision guard's ground truth. It
+// compares the same normalized encodings the fingerprint hashes.
+func equivalent(a, b Case) bool {
+	fa, erra := Fingerprint(a, false)
+	fb, errb := Fingerprint(b, false)
+	return erra == nil && errb == nil && fa == fb
+}

@@ -1,0 +1,285 @@
+package campaign
+
+import (
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"amrproxyio/internal/iosim"
+)
+
+func memoCase(name string, plotInt int) Case {
+	return Case{
+		Name: name, NCell: 32, MaxLevel: 0, MaxStep: 2, PlotInt: plotInt,
+		CFL: 0.5, NProcs: 2,
+	}
+}
+
+func TestExecutorHitMissAndEquivalence(t *testing.T) {
+	e := NewExecutor(8, false)
+	c := memoCase("m1", 1)
+
+	cold, err := e.RunCase(c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.Cached {
+		t.Error("first run must be a miss")
+	}
+	if cold.Fingerprint == "" || len(cold.Bursts) == 0 || cold.Profile.TotalWrites == 0 {
+		t.Fatalf("miss output missing streamed folds: %+v", cold)
+	}
+
+	// Same config under a different row label: hit, same physics, the
+	// caller's name on the row.
+	c2 := c
+	c2.Name = "m1-renamed"
+	warm, err := e.RunCase(c2, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !warm.Cached {
+		t.Error("identical configuration must hit the cache")
+	}
+	if warm.Result.Case.Name != "m1-renamed" {
+		t.Errorf("hit kept the stored row label %q", warm.Result.Case.Name)
+	}
+	if !reflect.DeepEqual(warm.Bursts, cold.Bursts) || !reflect.DeepEqual(warm.Profile, cold.Profile) {
+		t.Error("cached output physics diverged from the computed output")
+	}
+
+	st := e.Stats()
+	if st.Hits != 1 || st.Misses != 1 || st.Size != 1 {
+		t.Errorf("stats = %+v, want 1 hit / 1 miss / size 1", st)
+	}
+	if st.HitRate() != 0.5 {
+		t.Errorf("hit rate = %g, want 0.5", st.HitRate())
+	}
+}
+
+func TestExecutorMemoizedMatchesUncached(t *testing.T) {
+	// The memoized path (streaming folds, dropped ledger) must produce
+	// the same Result physics as the plain uncached Run.
+	c := memoCase("m-eq", 1)
+	e := NewExecutor(4, false)
+	out, err := e.RunCase(c, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	plain, err := Run(c, iosim.New(c.FSConfig(false), ""))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.NPlots == 0 {
+		t.Fatal("plain run produced no plots")
+	}
+	if out.Result.NPlots != plain.NPlots || out.Result.SimTime != plain.SimTime ||
+		out.Result.TotalBytes() != plain.TotalBytes() {
+		t.Errorf("memoized physics diverged: %+v vs %+v", out.Result, plain)
+	}
+}
+
+func TestExecutorSingleFlight(t *testing.T) {
+	// N concurrent identical requests: one simulation, N-1 joiners.
+	e := NewExecutor(4, false)
+	c := memoCase("sf", 1)
+	const n = 8
+	outs := make([]CaseOutput, n)
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			out, err := e.RunCase(c, 0)
+			if err != nil {
+				t.Error(err)
+			}
+			outs[i] = out
+		}(i)
+	}
+	wg.Wait()
+	st := e.Stats()
+	if st.Misses != 1 {
+		t.Errorf("misses = %d, want exactly 1 simulation for %d concurrent requests", st.Misses, n)
+	}
+	if st.Hits != n-1 {
+		t.Errorf("hits = %d, want %d", st.Hits, n-1)
+	}
+	cached := 0
+	for _, o := range outs {
+		if o.Cached {
+			cached++
+		}
+	}
+	if cached != n-1 {
+		t.Errorf("%d outputs marked Cached, want %d", cached, n-1)
+	}
+}
+
+func TestExecutorLRUEviction(t *testing.T) {
+	e := NewExecutor(2, false)
+	a := memoCase("a", 1)
+	b := memoCase("b", 2)
+	c := memoCase("c", 1)
+	c.MaxStep = 4 // distinct from a
+	for _, cs := range []Case{a, b} {
+		if _, err := e.RunCase(cs, 0); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Touch a so b is the LRU victim when c arrives.
+	if _, err := e.RunCase(a, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RunCase(c, 0); err != nil {
+		t.Fatal(err)
+	}
+	if st := e.Stats(); st.Size != 2 {
+		t.Fatalf("cache size = %d, want cap 2", st.Size)
+	}
+	// a still cached, b evicted.
+	if out, _ := e.RunCase(a, 0); !out.Cached {
+		t.Error("recently-used entry was evicted")
+	}
+	if out, _ := e.RunCase(b, 0); out.Cached {
+		t.Error("LRU victim was still cached")
+	}
+}
+
+func TestExecutorCollisionGuard(t *testing.T) {
+	e := NewExecutor(4, false)
+	e.digest = func(Case, bool) (string, error) { return strings.Repeat("f0", 32), nil }
+	a := memoCase("a", 1)
+	b := memoCase("b", 2) // different config, same injected digest
+	if _, err := e.RunCase(a, 0); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := e.RunCase(b, 0); err == nil || !strings.Contains(err.Error(), "fingerprint collision") {
+		t.Errorf("colliding digest served the wrong result: err = %v", err)
+	}
+	// The equivalent case still hits despite the degenerate digest.
+	a2 := a
+	a2.Name = "a2"
+	out, err := e.RunCase(a2, 0)
+	if err != nil || !out.Cached {
+		t.Errorf("equivalent case under colliding digest: out.Cached=%v err=%v", out.Cached, err)
+	}
+}
+
+func TestExecutorErrorsNotCached(t *testing.T) {
+	e := NewExecutor(4, false)
+	bad := memoCase("bad", 1)
+	bad.Engine = "bogus"
+	if _, err := e.RunCase(bad, 0); err == nil {
+		t.Fatal("invalid case accepted")
+	}
+	st := e.Stats()
+	if st.Size != 0 {
+		t.Errorf("error result was cached: size = %d", st.Size)
+	}
+	if st.Hits != 0 || st.Misses != 0 {
+		t.Errorf("validation failure counted as a lookup: %+v", st)
+	}
+}
+
+func TestExecutorTimeoutAbandonAccounting(t *testing.T) {
+	e := NewExecutor(4, false)
+	// Same shape as the abandon_test case: outlives a 1 ms timeout by
+	// orders of magnitude, finishes (and drains) within the test.
+	slow := Case{
+		Name: "slow", NCell: 4096, MaxLevel: 2, MaxStep: 40, PlotInt: 2,
+		CFL: 0.5, NProcs: 256, Nodes: 64, Engine: EngineSurrogate,
+		ComputeSeconds: 0.1,
+	}
+	out, err := e.RunCase(slow, time.Millisecond)
+	if err == nil || !strings.Contains(err.Error(), "timed out") {
+		t.Fatalf("err = %v, want timeout", err)
+	}
+	if !out.Result.Abandoned {
+		t.Error("timeout output not marked Abandoned")
+	}
+	st := e.Stats()
+	if st.Abandoned != 1 || st.Errors != 1 {
+		t.Errorf("stats = %+v, want 1 abandoned / 1 error", st)
+	}
+	if st.Size != 0 {
+		t.Error("abandoned result was cached")
+	}
+	// The abandoned goroutine drains and the global gauge returns to 0.
+	deadline := time.Now().Add(30 * time.Second)
+	for AbandonedInFlight() != 0 && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if got := AbandonedInFlight(); got != 0 {
+		t.Errorf("AbandonedInFlight = %d after drain, want 0", got)
+	}
+}
+
+func TestCheckBatch(t *testing.T) {
+	a := memoCase("a", 1)
+	dupExact := a // same name, same config: allowed (cache demo case)
+	conflict := a
+	conflict.MaxStep = 6 // same name, different config: rejected
+	renamed := conflict
+	renamed.Name = "a-prime" // different name: allowed
+
+	if err := CheckBatch([]Case{a, dupExact, renamed}, false); err != nil {
+		t.Errorf("valid batch rejected: %v", err)
+	}
+	err := CheckBatch([]Case{a, conflict}, false)
+	if err == nil || !strings.Contains(err.Error(), `duplicate name "a"`) {
+		t.Errorf("conflicting batch err = %v", err)
+	}
+	bad := a
+	bad.Engine = "bogus"
+	if err := CheckBatch([]Case{bad}, false); err == nil {
+		t.Error("invalid case passed CheckBatch")
+	}
+}
+
+func TestRunAllWithExecutorAndOutputs(t *testing.T) {
+	e := NewExecutor(8, false)
+	a := memoCase("a", 1)
+	dup := a
+	dup.Name = "a-dup"
+	b := memoCase("b", 2)
+	cases := []Case{a, dup, b}
+
+	var mu sync.Mutex
+	seen := map[int]CaseOutput{}
+	results, err := RunAll(cases, 2, nil,
+		WithExecutor(e),
+		WithOutputs(func(i int, out CaseOutput, err error) {
+			if err != nil {
+				t.Error(err)
+			}
+			mu.Lock()
+			seen[i] = out
+			mu.Unlock()
+		}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(results) != 3 || len(seen) != 3 {
+		t.Fatalf("results = %d, hook calls = %d, want 3 each", len(results), len(seen))
+	}
+	for i, r := range results {
+		if r.NPlots == 0 {
+			t.Errorf("case %d produced no plots: %+v", i, r)
+		}
+		if r.Case.Name != cases[i].Name {
+			t.Errorf("case %d result labeled %q", i, r.Case.Name)
+		}
+		if !reflect.DeepEqual(seen[i].Result, r) {
+			t.Errorf("hook output %d diverged from returned result", i)
+		}
+	}
+	st := e.Stats()
+	// a and a-dup share a fingerprint: 2 simulations total (a/a-dup
+	// de-duplicated via cache or single-flight), 1 hit.
+	if st.Misses != 2 || st.Hits != 1 {
+		t.Errorf("stats = %+v, want 2 misses / 1 hit", st)
+	}
+}

@@ -2,6 +2,7 @@ package iosim
 
 import (
 	"fmt"
+	"hash/fnv"
 	"math"
 	"sort"
 	"strings"
@@ -11,9 +12,15 @@ import (
 // on Carns et al.'s continuous characterization methodology ("Understanding
 // and improving computational science storage access through continuous
 // characterization", MSST 2011); this file computes the equivalent summary
-// from the simulated filesystem's ledger so that proxy and application runs
-// can be compared with the same vocabulary: operation counts, size
-// histograms, per-rank balance, and burst cadence.
+// from the simulated filesystem's write stream so that proxy and
+// application runs can be compared with the same vocabulary: operation
+// counts, size histograms, per-rank balance, and burst cadence.
+//
+// Since Design 10 the computation is a streaming fold (CharacterizeFold,
+// a LedgerConsumer): the profile accumulates as records are produced, so
+// no caller needs the materialized ledger. Characterize is the batch
+// wrapper — the same fold fed from a slice — which makes fold and batch
+// results identical by construction.
 
 // Characterization is a compact I/O profile of a run.
 type Characterization struct {
@@ -80,75 +87,154 @@ type Characterization struct {
 	FaultSeconds float64 // sum over bursts of the max-rank fault time
 }
 
-// Characterize computes the profile from ledger records.
-func Characterize(records []WriteRecord) Characterization {
-	var c Characterization
-	if len(records) == 0 {
-		return c
+// CharacterizeFold is the streaming form of Characterize: a
+// LedgerConsumer that accumulates the profile as records arrive and
+// finalizes it on Profile(). State is O(steps + ranks + distinct write
+// sizes), never O(writes) — the exact percentiles come from a size
+// multiset (size → count), and every order-sensitive float accumulator
+// (gather/open time) is keyed per rank and finalized in sorted-rank
+// order so stream order and batch order produce bit-identical profiles.
+type CharacterizeFold struct {
+	n int // records consumed (0 distinguishes the zero profile)
+	c Characterization
+
+	// files counts distinct paths by 64-bit FNV-1a hash rather than by
+	// retained string: UniqueFiles only needs the cardinality, and a
+	// campaign case touches O(ranks x dumps) paths — storing them would
+	// be the largest O(writes) term left in the fold. FNV is
+	// deterministic, so fold == batch is unaffected; a 64-bit collision
+	// (odds ~1e-8 even at a million files) would only undercount
+	// UniqueFiles by one.
+	files     map[uint64]struct{}
+	ranks     map[int]int64
+	writers   map[int]bool
+	nodes     map[int]int64
+	targets   map[int]int64
+	links     map[burstLink]int64
+	sizeCount map[int64]int // write-size multiset for exact percentiles
+
+	gatherByRank map[int]float64
+	openByRank   map[int]float64
+
+	endMax    float64
+	stepStart map[int]float64 // earliest record start per step
+
+	bursts *BurstFold
+}
+
+// NewCharacterizeFold returns an empty fold.
+func NewCharacterizeFold() *CharacterizeFold {
+	f := &CharacterizeFold{
+		files:        map[uint64]struct{}{},
+		ranks:        map[int]int64{},
+		writers:      map[int]bool{},
+		nodes:        map[int]int64{},
+		targets:      map[int]int64{},
+		links:        map[burstLink]int64{},
+		sizeCount:    map[int64]int{},
+		gatherByRank: map[int]float64{},
+		openByRank:   map[int]float64{},
+		stepStart:    map[int]float64{},
+		bursts:       NewBurstFold(),
 	}
-	files := map[string]bool{}
-	ranks := map[int]int64{}
-	writers := map[int]bool{}
-	nodes := map[int]int64{}
-	targets := map[int]int64{}
-	links := map[burstLink]int64{}
-	sizes := make([]int64, 0, len(records))
-	c.SizeHistogram = map[int]int{}
-	c.MinWrite = math.MaxInt64
-	var endMax float64
-	for _, r := range records {
-		if end := r.Start + r.Duration; end > endMax {
-			endMax = end
-		}
-		if r.Dir {
-			c.DirOps++
-			continue
-		}
-		c.TotalBytes += r.Bytes
-		c.TotalWrites++
-		files[r.Path] = true
-		ranks[r.Rank] += r.Bytes
-		if r.OpenSeconds > 0 {
-			writers[r.Rank] = true
-		}
-		c.GatherSeconds += r.GatherSeconds
-		c.OpenSeconds += r.OpenSeconds
-		if r.Node >= 0 {
-			nodes[r.Node] += r.Bytes
-			if r.Target >= 0 {
-				targets[r.Target] += r.Bytes
-			}
-			links[burstLink{r.Node, r.Target}] += r.Bytes
-		}
-		sizes = append(sizes, r.Bytes)
-		if r.Bytes < c.MinWrite {
-			c.MinWrite = r.Bytes
-		}
-		if r.Bytes > c.MaxWrite {
-			c.MaxWrite = r.Bytes
-		}
-		c.SizeHistogram[sizeBucket(r.Bytes)]++
+	f.c.SizeHistogram = map[int]int{}
+	f.c.MinWrite = math.MaxInt64
+	return f
+}
+
+// Consume folds one record into the profile.
+func (f *CharacterizeFold) Consume(r WriteRecord) {
+	f.n++
+	if end := r.Start + r.Duration; end > f.endMax {
+		f.endMax = end
 	}
-	c.UniqueFiles = len(files)
-	c.Ranks = len(ranks)
-	c.Writers = len(writers)
-	c.NodesUsed = len(nodes)
-	c.TargetsUsed = len(targets)
-	c.LinksUsed = len(links)
-	c.NodeImbalance = bytesImbalance(nodes)
-	c.LinkImbalance = bytesImbalance(links)
+	if s, ok := f.stepStart[r.Labels.Step]; !ok || r.Start < s {
+		f.stepStart[r.Labels.Step] = r.Start
+	}
+	f.bursts.Consume(r)
+	if r.Dir {
+		f.c.DirOps++
+		return
+	}
+	f.c.TotalBytes += r.Bytes
+	f.c.TotalWrites++
+	h := fnv.New64a()
+	h.Write([]byte(r.Path))
+	f.files[h.Sum64()] = struct{}{}
+	f.ranks[r.Rank] += r.Bytes
+	if r.OpenSeconds > 0 {
+		f.writers[r.Rank] = true
+	}
+	f.gatherByRank[r.Rank] += r.GatherSeconds
+	f.openByRank[r.Rank] += r.OpenSeconds
+	if r.Node >= 0 {
+		f.nodes[r.Node] += r.Bytes
+		if r.Target >= 0 {
+			f.targets[r.Target] += r.Bytes
+		}
+		f.links[burstLink{r.Node, r.Target}] += r.Bytes
+	}
+	f.sizeCount[r.Bytes]++
+	if r.Bytes < f.c.MinWrite {
+		f.c.MinWrite = r.Bytes
+	}
+	if r.Bytes > f.c.MaxWrite {
+		f.c.MaxWrite = r.Bytes
+	}
+	f.c.SizeHistogram[sizeBucket(r.Bytes)]++
+}
+
+// Flush implements LedgerConsumer; the fold keeps no buffered state, so
+// it is a no-op — Profile stays callable before and after.
+func (f *CharacterizeFold) Flush() {}
+
+// Bursts finalizes the embedded burst fold — the same []BurstStat that
+// BurstStats would compute from the materialized ledger.
+func (f *CharacterizeFold) Bursts() []BurstStat {
+	return f.bursts.Stats()
+}
+
+// Profile finalizes the fold into the profile of everything consumed so
+// far. It does not reset the fold. The returned SizeHistogram shares the
+// fold's map; treat it as read-only if the fold keeps consuming.
+func (f *CharacterizeFold) Profile() Characterization {
+	if f.n == 0 {
+		return Characterization{}
+	}
+	c := f.c
+	c.UniqueFiles = len(f.files)
+	c.Ranks = len(f.ranks)
+	c.Writers = len(f.writers)
+	c.NodesUsed = len(f.nodes)
+	c.TargetsUsed = len(f.targets)
+	c.LinksUsed = len(f.links)
+	c.NodeImbalance = bytesImbalance(f.nodes)
+	c.LinkImbalance = bytesImbalance(f.links)
 	if c.TotalWrites == 0 {
 		c.MinWrite = 0
 		return c
 	}
 	c.MeanWrite = float64(c.TotalBytes) / float64(c.TotalWrites)
-	sort.Slice(sizes, func(i, j int) bool { return sizes[i] < sizes[j] })
-	c.P50Write = sizes[len(sizes)/2]
-	c.P95Write = sizes[(len(sizes)*95)/100]
+	c.P50Write = f.percentile(c.TotalWrites / 2)
+	c.P95Write = f.percentile((c.TotalWrites * 95) / 100)
 
-	c.RankImbalance = bytesImbalance(ranks)
+	c.RankImbalance = bytesImbalance(f.ranks)
 
-	bursts := BurstStats(records)
+	// Per-rank gather/open subtotals summed in sorted-rank order: the
+	// per-rank subsequences are order-identical between stream and batch
+	// feeds, so the totals are too (see the maprangefloat analyzer for
+	// why an unordered float sum would not be).
+	gatherRanks := make([]int, 0, len(f.gatherByRank))
+	for r := range f.gatherByRank {
+		gatherRanks = append(gatherRanks, r)
+	}
+	sort.Ints(gatherRanks)
+	for _, r := range gatherRanks {
+		c.GatherSeconds += f.gatherByRank[r]
+		c.OpenSeconds += f.openByRank[r]
+	}
+
+	bursts := f.bursts.Stats()
 	c.Bursts = len(bursts)
 	if len(bursts) > 0 {
 		var bb float64
@@ -170,15 +256,9 @@ func Characterize(records []WriteRecord) Characterization {
 	}
 	if len(bursts) > 1 {
 		// Inter-arrival from the earliest record start per burst step.
-		starts := map[int]float64{}
-		for _, r := range records {
-			if s, ok := starts[r.Labels.Step]; !ok || r.Start < s {
-				starts[r.Labels.Step] = r.Start
-			}
-		}
 		var ordered []float64
 		for _, b := range bursts {
-			ordered = append(ordered, starts[b.Step])
+			ordered = append(ordered, f.stepStart[b.Step])
 		}
 		sort.Float64s(ordered)
 		var gaps float64
@@ -187,10 +267,42 @@ func Characterize(records []WriteRecord) Characterization {
 		}
 		c.MeanInterArrival = gaps / float64(len(ordered)-1)
 	}
-	if endMax > 0 {
-		c.AggregateBandwith = float64(c.TotalBytes) / endMax
+	if f.endMax > 0 {
+		c.AggregateBandwith = float64(c.TotalBytes) / f.endMax
 	}
 	return c
+}
+
+// percentile returns the idx-th (0-based) smallest write size from the
+// size multiset — the same value indexing a fully sorted size slice
+// would give, without materializing one.
+func (f *CharacterizeFold) percentile(idx int) int64 {
+	sizes := make([]int64, 0, len(f.sizeCount))
+	for s := range f.sizeCount {
+		sizes = append(sizes, s)
+	}
+	sort.Slice(sizes, func(i, j int) bool { return sizes[i] < sizes[j] })
+	seen := 0
+	for _, s := range sizes {
+		seen += f.sizeCount[s]
+		if idx < seen {
+			return s
+		}
+	}
+	if n := len(sizes); n > 0 {
+		return sizes[n-1]
+	}
+	return 0
+}
+
+// Characterize computes the profile from ledger records: the streaming
+// fold fed from a slice.
+func Characterize(records []WriteRecord) Characterization {
+	f := NewCharacterizeFold()
+	for _, r := range records {
+		f.Consume(r)
+	}
+	return f.Profile()
 }
 
 // bytesImbalance returns max/mean over a byte-count map (0 when empty).

@@ -128,4 +128,29 @@
 // gather phase is priced here, not routed through mpisim collectives —
 // it is a timing model, and keeping it out of the message schedule
 // preserves the SPMD ledger pins.
+//
+// # Streaming ledger consumers
+//
+// Attach(consumer) registers a LedgerConsumer; every EndBurst drains
+// the just-completed burst to the consumers — rank-ascending, each
+// rank's records in its own program order — and, by default, drops the
+// records from the shards. The stream-order contract is deliberately
+// weaker than Ledger()'s whole-run order (the stream is burst-major,
+// the merged ledger rank-major) but every per-step subsequence of the
+// two is identical, which is exactly what the folds key on: BurstFold
+// and CharacterizeFold accumulate per-step/per-rank state and finalize
+// in sorted-key order, so a fold fed from the stream is bit-identical
+// to the same fold fed from a materialized ledger. BurstStats and
+// Characterize are literally those folds fed from a slice — one
+// reduction code path, exercised both ways.
+//
+// Config.RetainLedger picks the retention policy: RetainAuto (the zero
+// value) keeps records only while no consumer is attached, RetainAll
+// keeps them regardless (consumers still stream; nothing is delivered
+// twice), RetainNone always drops. TotalBytes and Clock survive
+// dropping — they read per-shard counters, not records. Fold state is
+// O(steps x ranks) aggregates instead of O(writes) records, which is
+// the memory bound the campaign service layer depends on; the
+// ledgerretain analyzer keeps Ledger() calls out of the streaming
+// paths so the bound cannot silently regress.
 package iosim

@@ -1,0 +1,205 @@
+package iosim
+
+import "sort"
+
+// BurstFold is the streaming form of BurstStats: a LedgerConsumer that
+// accumulates per-step burst aggregates as records arrive and finalizes
+// them on Stats(). BurstStats is literally this fold fed from a slice,
+// so the two are identical by construction — the fold-vs-batch property
+// pins rest on that, plus the stream-order contract in consumer.go
+// (every per-step subsequence of the stream matches Ledger() order).
+//
+// Memory is O(steps × participating ranks) of aggregate state, not
+// O(writes): the raw records are never held.
+type BurstFold struct {
+	bySteps map[int]*burstAcc
+}
+
+// burstAcc is one step's in-flight aggregation. Every float accumulator
+// is keyed per rank or per link, never a bare running sum: per-key
+// subsequences are order-identical between the stream and the batch
+// ledger, and finalization walks keys in sorted order, so float addition
+// order — hence the last ulp — is reproducible (the maprangefloat
+// lesson).
+type burstAcc struct {
+	bytes     int64
+	files     int
+	dirs      int
+	perRank   map[int]float64
+	perLink   map[burstLink]float64
+	nodeBytes map[int]int64
+
+	bbBytes, spillBytes int64
+	maxFill             float64
+	stallPerRank        map[int]float64
+	lastDrain           map[int]float64
+
+	faultWrites  int
+	retries      int
+	faultPerRank map[int]float64
+}
+
+// NewBurstFold returns an empty fold.
+func NewBurstFold() *BurstFold {
+	return &BurstFold{bySteps: map[int]*burstAcc{}}
+}
+
+// Consume folds one record into its step's aggregates.
+func (f *BurstFold) Consume(r WriteRecord) {
+	a := f.bySteps[r.Labels.Step]
+	if a == nil {
+		a = &burstAcc{perRank: map[int]float64{}}
+		f.bySteps[r.Labels.Step] = a
+	}
+	a.bytes += r.Bytes
+	if r.Dir {
+		a.dirs++
+	} else {
+		a.files++
+	}
+	a.perRank[r.Rank] += r.Duration
+	if r.Node >= 0 {
+		if a.perLink == nil {
+			a.perLink = map[burstLink]float64{}
+			a.nodeBytes = map[int]int64{}
+		}
+		a.nodeBytes[r.Node] += r.Bytes
+		if !r.Dir {
+			a.perLink[burstLink{r.Node, r.Target}] += r.Duration
+		}
+	}
+	if r.Tier != "" {
+		if a.stallPerRank == nil {
+			a.stallPerRank = map[int]float64{}
+			a.lastDrain = map[int]float64{}
+		}
+		switch r.Tier {
+		case TierBB:
+			a.bbBytes += r.Bytes
+		case TierGPFS:
+			a.spillBytes += r.Bytes
+		}
+		if r.BBFill > a.maxFill {
+			a.maxFill = r.BBFill
+		}
+		a.stallPerRank[r.Rank] += r.StallSeconds
+		a.lastDrain[r.Rank] = r.DrainSeconds // program order: last write wins
+	}
+	if r.Fault != "" {
+		if a.faultPerRank == nil {
+			a.faultPerRank = map[int]float64{}
+		}
+		a.faultWrites++
+		a.retries += r.Retries
+		a.faultPerRank[r.Rank] += r.FaultSeconds
+	}
+}
+
+// Flush implements LedgerConsumer; the fold has no buffered state to
+// release, so it is a no-op. Stats stays callable before and after.
+func (f *BurstFold) Flush() {}
+
+// Stats finalizes the per-step aggregates into sorted BurstStats. It
+// does not consume the fold: calling it mid-run yields the bursts seen
+// so far.
+func (f *BurstFold) Stats() []BurstStat {
+	steps := make([]int, 0, len(f.bySteps))
+	for s := range f.bySteps {
+		steps = append(steps, s)
+	}
+	sort.Ints(steps)
+	out := make([]BurstStat, 0, len(steps))
+	for _, s := range steps {
+		a := f.bySteps[s]
+		// Float sums run in sorted key order: map iteration order is
+		// random and float addition is not associative, so an unordered
+		// sum would make equal ledgers produce last-ulp-different stats
+		// (breaking byte-identical report pins).
+		ranks := make([]int, 0, len(a.perRank))
+		for r := range a.perRank {
+			ranks = append(ranks, r)
+		}
+		sort.Ints(ranks)
+		var wall, sum float64
+		for _, r := range ranks {
+			d := a.perRank[r]
+			if d > wall {
+				wall = d
+			}
+			sum += d
+		}
+		st := BurstStat{
+			Step: s, Bytes: a.bytes, Files: a.files, Dirs: a.dirs,
+			WallSeconds: wall, Participants: len(a.perRank),
+		}
+		if len(a.perRank) > 0 {
+			st.MeanSeconds = sum / float64(len(a.perRank))
+			for _, d := range a.perRank {
+				if d > 1.5*st.MeanSeconds {
+					st.Stragglers++
+				}
+			}
+		}
+		if wall > 0 {
+			st.EffectiveBW = float64(a.bytes) / wall
+		}
+		if len(a.nodeBytes) > 0 {
+			st.Nodes = len(a.nodeBytes)
+			st.NodeSkew = bytesImbalance(a.nodeBytes)
+		}
+		if len(a.perLink) > 0 {
+			st.Links = len(a.perLink)
+			links := make([]burstLink, 0, len(a.perLink))
+			for l := range a.perLink {
+				links = append(links, l)
+			}
+			sort.Slice(links, func(i, j int) bool {
+				if links[i].node != links[j].node {
+					return links[i].node < links[j].node
+				}
+				return links[i].target < links[j].target
+			})
+			var linkSum float64
+			for _, l := range links {
+				d := a.perLink[l]
+				if d > st.MaxLinkSeconds {
+					st.MaxLinkSeconds = d
+				}
+				linkSum += d
+			}
+			st.MeanLinkSeconds = linkSum / float64(len(a.perLink))
+			if st.MeanLinkSeconds > 0 {
+				st.LinkSkew = st.MaxLinkSeconds / st.MeanLinkSeconds
+			}
+		}
+		if a.stallPerRank != nil {
+			st.BBBytes = a.bbBytes
+			st.SpillBytes = a.spillBytes
+			st.MaxBBFill = a.maxFill
+			for _, stall := range a.stallPerRank {
+				if stall > st.StallSeconds {
+					st.StallSeconds = stall
+				}
+				if stall > 0 {
+					st.StallRanks++
+				}
+			}
+			for _, drain := range a.lastDrain {
+				if drain > st.DrainSeconds {
+					st.DrainSeconds = drain
+				}
+			}
+		}
+		if a.faultPerRank != nil {
+			st.FaultWrites = a.faultWrites
+			st.Retries = a.retries
+			for _, f := range a.faultPerRank {
+				if f > st.FaultSeconds {
+					st.FaultSeconds = f
+				}
+			}
+		}
+		out = append(out, st)
+	}
+	return out
+}

@@ -61,6 +61,12 @@ type Config struct {
 	// retry/replay time and relabeling failover targets. nil — the zero
 	// value — keeps the write path byte-identical to the fault-free model.
 	Faults FaultInjector
+	// RetainLedger controls whether records stay in the shards once
+	// streaming consumers (Attach) have folded them. The zero value
+	// (RetainAuto) keeps historical full-ledger behavior for callers
+	// without consumers and drops fed records for callers with them; see
+	// consumer.go.
+	RetainLedger Retention
 }
 
 // DefaultConfig returns a Summit-flavored model: 2.5 TB/s aggregate (the
@@ -155,6 +161,10 @@ type shard struct {
 	faults  []FaultEvent
 	bytes   int64
 	clock   float64
+	// fed is the drain watermark: records[:fed] have been delivered to
+	// the streaming consumers (consumer.go). Always 0 when records are
+	// dropped after feeding (non-retaining modes).
+	fed int
 }
 
 // FileSystem is the simulated parallel filesystem. It is safe for
@@ -196,6 +206,10 @@ type FileSystem struct {
 	// hot path is a single atomic pointer load.
 	shards atomic.Pointer[[]*shard]
 	growMu sync.Mutex
+
+	// consumers is the streaming-fold subscription state (consumer.go);
+	// drained at EndBurst and FlushConsumers.
+	consumers consumerState
 }
 
 // New creates a filesystem with the given model configuration. root is the
@@ -326,12 +340,17 @@ func (fs *FileSystem) BeginBurst(n int) {
 	fs.ensureShards(n)
 }
 
-// EndBurst marks the end of the current burst.
+// EndBurst marks the end of the current burst. It is also the streaming
+// drain point: every record produced since the previous drain is fed to
+// the attached consumers (consumer.go) — the burst's writes are complete
+// here (the writers barrier before ending), so consumers see whole
+// bursts in deterministic rank-major order.
 func (fs *FileSystem) EndBurst() {
 	fs.model.EndBurst()
 	if inj := fs.cfg.Faults; inj != nil {
 		inj.EndBurst()
 	}
+	fs.drainConsumers()
 }
 
 // Storage returns the installed storage-tier pricing model.
@@ -684,170 +703,9 @@ type burstLink struct{ node, target int }
 // tail relies on the Ledger contract that a rank's records appear in
 // program order.
 func BurstStats(records []WriteRecord) []BurstStat {
-	type acc struct {
-		bytes     int64
-		files     int
-		dirs      int
-		perRank   map[int]float64
-		perLink   map[burstLink]float64
-		nodeBytes map[int]int64
-
-		bbBytes, spillBytes int64
-		maxFill             float64
-		stallPerRank        map[int]float64
-		lastDrain           map[int]float64
-
-		faultWrites  int
-		retries      int
-		faultPerRank map[int]float64
-	}
-	bySteps := map[int]*acc{}
+	f := NewBurstFold()
 	for _, r := range records {
-		a := bySteps[r.Labels.Step]
-		if a == nil {
-			a = &acc{perRank: map[int]float64{}}
-			bySteps[r.Labels.Step] = a
-		}
-		a.bytes += r.Bytes
-		if r.Dir {
-			a.dirs++
-		} else {
-			a.files++
-		}
-		a.perRank[r.Rank] += r.Duration
-		if r.Node >= 0 {
-			if a.perLink == nil {
-				a.perLink = map[burstLink]float64{}
-				a.nodeBytes = map[int]int64{}
-			}
-			a.nodeBytes[r.Node] += r.Bytes
-			if !r.Dir {
-				a.perLink[burstLink{r.Node, r.Target}] += r.Duration
-			}
-		}
-		if r.Tier != "" {
-			if a.stallPerRank == nil {
-				a.stallPerRank = map[int]float64{}
-				a.lastDrain = map[int]float64{}
-			}
-			switch r.Tier {
-			case TierBB:
-				a.bbBytes += r.Bytes
-			case TierGPFS:
-				a.spillBytes += r.Bytes
-			}
-			if r.BBFill > a.maxFill {
-				a.maxFill = r.BBFill
-			}
-			a.stallPerRank[r.Rank] += r.StallSeconds
-			a.lastDrain[r.Rank] = r.DrainSeconds // program order: last write wins
-		}
-		if r.Fault != "" {
-			if a.faultPerRank == nil {
-				a.faultPerRank = map[int]float64{}
-			}
-			a.faultWrites++
-			a.retries += r.Retries
-			a.faultPerRank[r.Rank] += r.FaultSeconds
-		}
+		f.Consume(r)
 	}
-	steps := make([]int, 0, len(bySteps))
-	for s := range bySteps {
-		steps = append(steps, s)
-	}
-	sort.Ints(steps)
-	out := make([]BurstStat, 0, len(steps))
-	for _, s := range steps {
-		a := bySteps[s]
-		// Float sums run in sorted key order: map iteration order is
-		// random and float addition is not associative, so an unordered
-		// sum would make equal ledgers produce last-ulp-different stats
-		// (breaking byte-identical report pins).
-		ranks := make([]int, 0, len(a.perRank))
-		for r := range a.perRank {
-			ranks = append(ranks, r)
-		}
-		sort.Ints(ranks)
-		var wall, sum float64
-		for _, r := range ranks {
-			d := a.perRank[r]
-			if d > wall {
-				wall = d
-			}
-			sum += d
-		}
-		st := BurstStat{
-			Step: s, Bytes: a.bytes, Files: a.files, Dirs: a.dirs,
-			WallSeconds: wall, Participants: len(a.perRank),
-		}
-		if len(a.perRank) > 0 {
-			st.MeanSeconds = sum / float64(len(a.perRank))
-			for _, d := range a.perRank {
-				if d > 1.5*st.MeanSeconds {
-					st.Stragglers++
-				}
-			}
-		}
-		if wall > 0 {
-			st.EffectiveBW = float64(a.bytes) / wall
-		}
-		if len(a.nodeBytes) > 0 {
-			st.Nodes = len(a.nodeBytes)
-			st.NodeSkew = bytesImbalance(a.nodeBytes)
-		}
-		if len(a.perLink) > 0 {
-			st.Links = len(a.perLink)
-			links := make([]burstLink, 0, len(a.perLink))
-			for l := range a.perLink {
-				links = append(links, l)
-			}
-			sort.Slice(links, func(i, j int) bool {
-				if links[i].node != links[j].node {
-					return links[i].node < links[j].node
-				}
-				return links[i].target < links[j].target
-			})
-			var linkSum float64
-			for _, l := range links {
-				d := a.perLink[l]
-				if d > st.MaxLinkSeconds {
-					st.MaxLinkSeconds = d
-				}
-				linkSum += d
-			}
-			st.MeanLinkSeconds = linkSum / float64(len(a.perLink))
-			if st.MeanLinkSeconds > 0 {
-				st.LinkSkew = st.MaxLinkSeconds / st.MeanLinkSeconds
-			}
-		}
-		if a.stallPerRank != nil {
-			st.BBBytes = a.bbBytes
-			st.SpillBytes = a.spillBytes
-			st.MaxBBFill = a.maxFill
-			for _, stall := range a.stallPerRank {
-				if stall > st.StallSeconds {
-					st.StallSeconds = stall
-				}
-				if stall > 0 {
-					st.StallRanks++
-				}
-			}
-			for _, drain := range a.lastDrain {
-				if drain > st.DrainSeconds {
-					st.DrainSeconds = drain
-				}
-			}
-		}
-		if a.faultPerRank != nil {
-			st.FaultWrites = a.faultWrites
-			st.Retries = a.retries
-			for _, f := range a.faultPerRank {
-				if f > st.FaultSeconds {
-					st.FaultSeconds = f
-				}
-			}
-		}
-		out = append(out, st)
-	}
-	return out
+	return f.Stats()
 }

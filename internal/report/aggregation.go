@@ -48,36 +48,11 @@ type AggregationSummary struct {
 // the duration split — they go to the metadata service, not a data
 // target — but still shape the burst walls, like everywhere else.
 func SummarizeAggregation(name string, ledger []iosim.WriteRecord) AggregationSummary {
-	s := AggregationSummary{Name: name}
-	ranks := map[int]bool{}
-	writers := map[int]bool{}
-	targets := map[int]bool{}
+	f := NewSummaryFold()
 	for _, r := range ledger {
-		if r.Dir {
-			continue
-		}
-		s.Bytes += r.Bytes
-		ranks[r.Rank] = true
-		if r.OpenSeconds > 0 {
-			writers[r.Rank] = true
-		}
-		if r.Target >= 0 {
-			targets[r.Target] = true
-		}
-		s.GatherSeconds += r.GatherSeconds
-		s.OpenSeconds += r.OpenSeconds
-		if rest := r.Duration - r.GatherSeconds - r.OpenSeconds; rest > 0 {
-			s.WriteSeconds += rest
-		}
+		f.Consume(r)
 	}
-	s.Ranks = len(ranks)
-	s.Writers = len(writers)
-	s.Targets = len(targets)
-	for _, b := range iosim.BurstStats(ledger) {
-		s.Bursts++
-		s.WallSeconds += b.WallSeconds
-	}
-	return s
+	return f.Aggregation(name)
 }
 
 // AggregationReport renders the per-layout comparison table. The first

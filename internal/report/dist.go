@@ -38,50 +38,14 @@ type DistSummary struct {
 	TargetImbalance float64 // max/mean bytes per target (1 = balanced)
 }
 
-// SummarizeDist reduces a ledger to its DistSummary.
+// SummarizeDist reduces a ledger to its DistSummary: the streaming
+// SummaryFold fed from a slice.
 func SummarizeDist(dist string, ledger []iosim.WriteRecord) DistSummary {
-	s := DistSummary{Dist: dist}
-	targetBytes := map[int]int64{}
+	f := NewSummaryFold()
 	for _, r := range ledger {
-		s.Bytes += r.Bytes
-		if r.Target >= 0 {
-			targetBytes[r.Target] += r.Bytes
-		}
+		f.Consume(r)
 	}
-	linked := 0
-	for _, b := range iosim.BurstStats(ledger) {
-		s.Bursts++
-		s.WallSeconds += b.WallSeconds
-		s.Stragglers += b.Stragglers
-		if b.Nodes == 0 {
-			continue
-		}
-		linked++
-		s.MeanLinkSkew += b.LinkSkew
-		if b.LinkSkew > s.MaxLinkSkew {
-			s.MaxLinkSkew = b.LinkSkew
-		}
-		if b.NodeSkew > s.MaxNodeSkew {
-			s.MaxNodeSkew = b.NodeSkew
-		}
-	}
-	if linked > 0 {
-		s.MeanLinkSkew /= float64(linked)
-	}
-	if len(targetBytes) > 0 {
-		s.TargetsUsed = len(targetBytes)
-		var total int64
-		for _, b := range targetBytes {
-			total += b
-			if b > s.MaxTargetBytes {
-				s.MaxTargetBytes = b
-			}
-		}
-		if mean := float64(total) / float64(len(targetBytes)); mean > 0 {
-			s.TargetImbalance = float64(s.MaxTargetBytes) / mean
-		}
-	}
-	return s
+	return f.Dist(dist)
 }
 
 // DistReport renders the per-strategy comparison table. The first

@@ -1,0 +1,190 @@
+package report
+
+import (
+	"sort"
+
+	"amrproxyio/internal/iosim"
+)
+
+// SummaryFold is the streaming form of the report summarizers: one
+// iosim.LedgerConsumer that accumulates everything SummarizeDist,
+// SummarizeStorage, and SummarizeAggregation need, without ever holding
+// the ledger. Attach one fold per run (iosim.FileSystem.Attach) and ask
+// it for whichever summaries the sweep renders; the batch Summarize*
+// functions are this fold fed from a slice, so fold and batch agree by
+// construction.
+//
+// Order discipline (the maprangefloat lesson): every float accumulator
+// is keyed — per rank for the gather/open/write split, per step for
+// burst timing — and finalized over sorted keys. Per-key subsequences
+// are order-identical between the stream (burst-major, rank-major within
+// a burst) and the batch ledger (rank-major over the whole run), so the
+// finalized floats are bit-identical too.
+type SummaryFold struct {
+	bursts *iosim.BurstFold
+
+	bytes       int64
+	targetBytes map[int]int64
+
+	// Aggregation fan-in and duration split (data records only).
+	ranks        map[int]bool
+	writers      map[int]bool
+	targets      map[int]bool
+	gatherByRank map[int]float64
+	openByRank   map[int]float64
+	writeByRank  map[int]float64
+
+	// Burst timing for the storage drain-overlap computation.
+	first map[int]float64
+	last  map[int]float64
+}
+
+// NewSummaryFold returns an empty fold.
+func NewSummaryFold() *SummaryFold {
+	return &SummaryFold{
+		bursts:       iosim.NewBurstFold(),
+		targetBytes:  map[int]int64{},
+		ranks:        map[int]bool{},
+		writers:      map[int]bool{},
+		targets:      map[int]bool{},
+		gatherByRank: map[int]float64{},
+		openByRank:   map[int]float64{},
+		writeByRank:  map[int]float64{},
+		first:        map[int]float64{},
+		last:         map[int]float64{},
+	}
+}
+
+// Consume folds one record.
+func (f *SummaryFold) Consume(r iosim.WriteRecord) {
+	f.bursts.Consume(r)
+	f.bytes += r.Bytes
+	if r.Target >= 0 {
+		f.targetBytes[r.Target] += r.Bytes
+	}
+	step := r.Labels.Step
+	end := r.Start + r.Duration
+	if s, ok := f.first[step]; !ok || r.Start < s {
+		f.first[step] = r.Start
+	}
+	if end > f.last[step] {
+		f.last[step] = end
+	}
+	if r.Dir {
+		return // metadata records shape burst walls but not the fan-in/split
+	}
+	f.ranks[r.Rank] = true
+	if r.OpenSeconds > 0 {
+		f.writers[r.Rank] = true
+	}
+	if r.Target >= 0 {
+		f.targets[r.Target] = true
+	}
+	f.gatherByRank[r.Rank] += r.GatherSeconds
+	f.openByRank[r.Rank] += r.OpenSeconds
+	if rest := r.Duration - r.GatherSeconds - r.OpenSeconds; rest > 0 {
+		f.writeByRank[r.Rank] += rest
+	}
+}
+
+// Flush implements iosim.LedgerConsumer; no buffered state, no-op.
+func (f *SummaryFold) Flush() {}
+
+// Bursts finalizes the embedded burst fold.
+func (f *SummaryFold) Bursts() []iosim.BurstStat {
+	return f.bursts.Stats()
+}
+
+// Dist finalizes the placement comparison row (see SummarizeDist).
+func (f *SummaryFold) Dist(dist string) DistSummary {
+	s := DistSummary{Dist: dist, Bytes: f.bytes}
+	linked := 0
+	for _, b := range f.bursts.Stats() {
+		s.Bursts++
+		s.WallSeconds += b.WallSeconds
+		s.Stragglers += b.Stragglers
+		if b.Nodes == 0 {
+			continue
+		}
+		linked++
+		s.MeanLinkSkew += b.LinkSkew
+		if b.LinkSkew > s.MaxLinkSkew {
+			s.MaxLinkSkew = b.LinkSkew
+		}
+		if b.NodeSkew > s.MaxNodeSkew {
+			s.MaxNodeSkew = b.NodeSkew
+		}
+	}
+	if linked > 0 {
+		s.MeanLinkSkew /= float64(linked)
+	}
+	if len(f.targetBytes) > 0 {
+		s.TargetsUsed = len(f.targetBytes)
+		var total int64
+		for _, b := range f.targetBytes {
+			total += b
+			if b > s.MaxTargetBytes {
+				s.MaxTargetBytes = b
+			}
+		}
+		if mean := float64(total) / float64(len(f.targetBytes)); mean > 0 {
+			s.TargetImbalance = float64(s.MaxTargetBytes) / mean
+		}
+	}
+	return s
+}
+
+// Storage finalizes the storage-stack comparison row (see
+// SummarizeStorage).
+func (f *SummaryFold) Storage(storage string) StorageSummary {
+	s := StorageSummary{Storage: storage, Bytes: f.bytes}
+	bursts := f.bursts.Stats()
+	for i, b := range bursts {
+		s.Bursts++
+		s.WallSeconds += b.WallSeconds
+		s.BBBytes += b.BBBytes
+		s.SpillBytes += b.SpillBytes
+		if b.MaxBBFill > s.MaxBBFill {
+			s.MaxBBFill = b.MaxBBFill
+		}
+		s.StallSeconds += b.StallSeconds
+		s.StallRanks += b.StallRanks
+		s.DrainSeconds += b.DrainSeconds
+		if b.DrainSeconds > 0 && i+1 < len(bursts) {
+			if gap := f.first[bursts[i+1].Step] - f.last[b.Step]; gap > 0 {
+				overlap := gap
+				if b.DrainSeconds < overlap {
+					overlap = b.DrainSeconds
+				}
+				s.OverlapSeconds += overlap
+			}
+		}
+	}
+	return s
+}
+
+// Aggregation finalizes the two-phase layout comparison row (see
+// SummarizeAggregation).
+func (f *SummaryFold) Aggregation(name string) AggregationSummary {
+	// Directory records carry zero bytes, so the all-records total equals
+	// the data-records total the batch summarizer accumulated.
+	s := AggregationSummary{Name: name, Bytes: f.bytes}
+	ranks := make([]int, 0, len(f.gatherByRank))
+	for r := range f.gatherByRank {
+		ranks = append(ranks, r)
+	}
+	sort.Ints(ranks)
+	for _, r := range ranks {
+		s.GatherSeconds += f.gatherByRank[r]
+		s.OpenSeconds += f.openByRank[r]
+		s.WriteSeconds += f.writeByRank[r]
+	}
+	s.Ranks = len(f.ranks)
+	s.Writers = len(f.writers)
+	s.Targets = len(f.targets)
+	for _, b := range f.bursts.Stats() {
+		s.Bursts++
+		s.WallSeconds += b.WallSeconds
+	}
+	return s
+}

@@ -46,46 +46,11 @@ type StorageSummary struct {
 // needs burst timing, so the ledger must carry the usual Start/Duration
 // fields (any FileSystem ledger does).
 func SummarizeStorage(storage string, ledger []iosim.WriteRecord) StorageSummary {
-	s := StorageSummary{Storage: storage}
+	f := NewSummaryFold()
 	for _, r := range ledger {
-		s.Bytes += r.Bytes
+		f.Consume(r)
 	}
-	bursts := iosim.BurstStats(ledger)
-	// Burst timing for the overlap computation: earliest start and
-	// latest end per step.
-	first := map[int]float64{}
-	last := map[int]float64{}
-	for _, r := range ledger {
-		end := r.Start + r.Duration
-		if f, ok := first[r.Labels.Step]; !ok || r.Start < f {
-			first[r.Labels.Step] = r.Start
-		}
-		if end > last[r.Labels.Step] {
-			last[r.Labels.Step] = end
-		}
-	}
-	for i, b := range bursts {
-		s.Bursts++
-		s.WallSeconds += b.WallSeconds
-		s.BBBytes += b.BBBytes
-		s.SpillBytes += b.SpillBytes
-		if b.MaxBBFill > s.MaxBBFill {
-			s.MaxBBFill = b.MaxBBFill
-		}
-		s.StallSeconds += b.StallSeconds
-		s.StallRanks += b.StallRanks
-		s.DrainSeconds += b.DrainSeconds
-		if b.DrainSeconds > 0 && i+1 < len(bursts) {
-			if gap := first[bursts[i+1].Step] - last[b.Step]; gap > 0 {
-				overlap := gap
-				if b.DrainSeconds < overlap {
-					overlap = b.DrainSeconds
-				}
-				s.OverlapSeconds += overlap
-			}
-		}
-	}
-	return s
+	return f.Storage(storage)
 }
 
 // StorageReport renders the per-stack comparison table. The first
